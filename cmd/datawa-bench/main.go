@@ -1,0 +1,102 @@
+// Command datawa-bench regenerates the tables and figures of the DATA-WA
+// paper's evaluation (Section V) on the synthetic Yueche/DiDi workloads and
+// prints paper-style rows.
+//
+// Usage:
+//
+//	datawa-bench -list
+//	datawa-bench -run fig7 -scale standard
+//	datawa-bench -run all -scale quick -csv out/
+//
+// Scales: quick (seconds per experiment), standard (minutes; the default),
+// full (paper cardinalities; hours for the whole suite).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		run    = flag.String("run", "", "experiment id to run, or 'all'")
+		scale  = flag.String("scale", "standard", "quick | standard | full")
+		csvDir = flag.String("csv", "", "also write <id>.csv files into this directory")
+		points = flag.Int("points", 0, "override sweep points per parameter (0 = all)")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-20s %s\n", e.ID, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	var s experiments.Scale
+	switch strings.ToLower(*scale) {
+	case "quick":
+		s = experiments.Quick
+	case "standard":
+		s = experiments.Standard
+	case "full":
+		s = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *points > 0 {
+		s.SweepPoints = *points
+	}
+
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		tables := e.Run(s)
+		for _, t := range tables {
+			fmt.Println(t.String())
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, t); err != nil {
+					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeCSV(dir string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := t.ID
+	if strings.Contains(t.Title, "(DiDi)") {
+		name += "-didi"
+	} else if strings.Contains(t.Title, "(Yueche)") {
+		name += "-yueche"
+	}
+	return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(t.CSV()), 0o644)
+}

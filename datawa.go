@@ -1,0 +1,366 @@
+// Package datawa is a pure-Go implementation of DATA-WA — "Demand-based
+// Adaptive Task Assignment with Dynamic Worker Availability Windows"
+// (ICDE 2025) — a spatial crowdsourcing framework that maximizes the number
+// of assigned tasks by predicting future task demand with a Dynamic
+// Dependency-based Graph Neural Network (DDGNN) and adaptively re-planning
+// worker task sequences with a worker-dependency-separated search guided by
+// a reinforcement-learned Task Value Function (TVF).
+//
+// The package is a façade over the building blocks in internal/: callers
+// construct a Framework, optionally train its demand and value models, and
+// then either plan a single assignment instant (Plan) or drive a full
+// worker/task stream (Run) with any of the five methods evaluated in the
+// paper: Greedy, FTA, DTA, DTA+TP and DATA-WA.
+//
+//	fw := datawa.New(datawa.Config{Region: region, GridRows: 6, GridCols: 6})
+//	fw.TrainDemand(history)
+//	fw.TrainValue(workers, tasks)
+//	result, err := fw.Run(datawa.MethodDATAWA, workers, tasks, 0, 7200)
+package datawa
+
+import (
+	"fmt"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/predict"
+	"repro/internal/stream"
+	"repro/internal/tvf"
+	"repro/internal/wds"
+	"repro/internal/workload"
+)
+
+// Re-exported domain types (Definitions 1–5 of the paper).
+type (
+	// Task is a spatial task s = (l, p, e).
+	Task = core.Task
+	// Worker is an online worker w = (l, d, on, off).
+	Worker = core.Worker
+	// Sequence is an ordered task sequence R(S_w).
+	Sequence = core.Sequence
+	// Assignment pairs a worker with a valid scheduled sequence.
+	Assignment = core.Assignment
+	// Plan is a spatial task assignment A.
+	Plan = core.Plan
+	// Point is a planar location in kilometers.
+	Point = geo.Point
+	// Rect is an axis-aligned region in kilometers.
+	Rect = geo.Rect
+	// Result aggregates one streaming run.
+	Result = stream.Result
+	// Scenario is a generated worker/task trace.
+	Scenario = workload.Scenario
+	// ScenarioConfig parameterizes the synthetic trace generators.
+	ScenarioConfig = workload.Config
+)
+
+// Method selects one of the five assignment policies of Section V-B.2.
+type Method string
+
+// The five methods evaluated in the paper.
+const (
+	MethodGreedy Method = "Greedy"
+	MethodFTA    Method = "FTA"
+	MethodDTA    Method = "DTA"
+	MethodDTATP  Method = "DTA+TP"
+	MethodDATAWA Method = "DATA-WA"
+)
+
+// Methods lists all supported methods in the paper's order.
+func Methods() []Method {
+	return []Method{MethodGreedy, MethodFTA, MethodDTA, MethodDTATP, MethodDATAWA}
+}
+
+// Config parameterizes a Framework. The zero value plus a Region is usable;
+// every other field has a sensible default.
+type Config struct {
+	// SpeedKmPerSec is the worker travel speed (default 0.01 = 10 m/s).
+	SpeedKmPerSec float64
+
+	// Region and GridRows/GridCols define the demand grid. Required for
+	// demand prediction (MethodDTATP, MethodDATAWA).
+	Region             Rect
+	GridRows, GridCols int
+
+	// DeltaT is the elementary prediction interval ΔT in seconds
+	// (default 5); K the intervals per series vector (default 3); Window
+	// the history vectors fed to the model (default 8).
+	DeltaT float64
+	K      int
+	Window int
+	// Threshold materializes predicted demand above this probability
+	// (default 0.85, the paper's setting).
+	Threshold float64
+	// VirtualValidTime is the validity e−p given to predicted tasks
+	// (default 40 s, Table III's default task validity).
+	VirtualValidTime float64
+
+	// MaxSeqLen and MaxReachable bound sequence generation (defaults 3, 8).
+	MaxSeqLen, MaxReachable int
+	// MaxSearchNodes bounds the exact DFSearch per planning call.
+	MaxSearchNodes int
+
+	// Epochs and TVFEpochs bound model training (defaults 15, 30).
+	Epochs, TVFEpochs int
+
+	// Step is the streaming replan interval in seconds (default 1).
+	Step float64
+
+	// Seed makes training and planning deterministic (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SpeedKmPerSec <= 0 {
+		c.SpeedKmPerSec = geo.DefaultSpeed
+	}
+	if c.GridRows <= 0 {
+		c.GridRows = 6
+	}
+	if c.GridCols <= 0 {
+		c.GridCols = 6
+	}
+	if c.DeltaT <= 0 {
+		c.DeltaT = 5
+	}
+	if c.K <= 1 {
+		c.K = 3
+	}
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = predict.DefaultThreshold
+	}
+	if c.VirtualValidTime <= 0 {
+		c.VirtualValidTime = 40
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 15
+	}
+	if c.TVFEpochs <= 0 {
+		c.TVFEpochs = 30
+	}
+	if c.Step <= 0 {
+		c.Step = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Framework is the DATA-WA system: travel model, demand predictor, task
+// value function, and the planners built on them. Not safe for concurrent
+// use.
+type Framework struct {
+	cfg    Config
+	travel geo.TravelModel
+	demand predict.Predictor
+	// demandT0 anchors the prediction series at the earliest history task.
+	demandT0 float64
+	history  []*Task
+	value    *tvf.Model
+}
+
+// New returns a Framework with the given configuration.
+func New(cfg Config) *Framework {
+	cfg = cfg.withDefaults()
+	return &Framework{cfg: cfg, travel: geo.NewTravelModel(cfg.SpeedKmPerSec)}
+}
+
+func (f *Framework) grid() geo.Grid {
+	return geo.NewGrid(f.cfg.Region, f.cfg.GridRows, f.cfg.GridCols)
+}
+
+func (f *Framework) assignOptions() assign.Options {
+	return assign.Options{
+		WDS: wds.Options{
+			Travel:       f.travel,
+			MaxSeqLen:    f.cfg.MaxSeqLen,
+			MaxReachable: f.cfg.MaxReachable,
+		},
+		MaxNodes: f.cfg.MaxSearchNodes,
+	}
+}
+
+func (f *Framework) seriesConfig() predict.SeriesConfig {
+	return predict.SeriesConfig{Grid: f.grid(), K: f.cfg.K, DeltaT: f.cfg.DeltaT, T0: f.demandT0}
+}
+
+// TrainDemand fits the DDGNN demand model on historical tasks (Section III).
+// The history should cover at least Window·K·ΔT seconds before the stream
+// the model will forecast. It returns an error when the region is unset or
+// the history is too short.
+func (f *Framework) TrainDemand(history []*Task) error {
+	if f.cfg.Region.Width() <= 0 || f.cfg.Region.Height() <= 0 {
+		return fmt.Errorf("datawa: TrainDemand requires a non-empty Config.Region")
+	}
+	if len(history) == 0 {
+		return fmt.Errorf("datawa: TrainDemand requires historical tasks")
+	}
+	t0, tEnd := history[0].Pub, history[0].Pub
+	for _, s := range history {
+		if s.Pub < t0 {
+			t0 = s.Pub
+		}
+		if s.Pub > tEnd {
+			tEnd = s.Pub
+		}
+	}
+	f.demandT0 = t0
+	f.history = append([]*Task(nil), history...)
+	series := predict.BuildSeries(f.seriesConfig(), history, tEnd)
+	windows := series.Windows(f.cfg.Window, 1)
+	if len(windows) == 0 {
+		return fmt.Errorf("datawa: history spans %d vectors, need more than the %d-vector window",
+			series.P(), f.cfg.Window)
+	}
+	model := predict.NewDDGNN(predict.DDGNNConfig{
+		K: f.cfg.K, Hidden: 16, Embed: 8,
+		Train: predict.TrainConfig{Epochs: f.cfg.Epochs, LR: 0.02, WeightDecay: 1e-3, Seed: f.cfg.Seed},
+	})
+	if err := model.Fit(windows); err != nil {
+		return fmt.Errorf("datawa: demand training: %w", err)
+	}
+	f.demand = model
+	return nil
+}
+
+// TrainValue learns the Task Value Function (Section IV-B) from exact
+// DFSearch runs over sampled planning instants of the given worker/task
+// population. instants controls how many snapshots are searched (≤ 0 uses
+// 8).
+func (f *Framework) TrainValue(workers []*Worker, tasks []*Task, instants int) error {
+	if len(workers) == 0 || len(tasks) == 0 {
+		return fmt.Errorf("datawa: TrainValue requires workers and tasks")
+	}
+	if instants <= 0 {
+		instants = 8
+	}
+	t0, t1 := tasks[0].Pub, tasks[0].Pub
+	for _, s := range tasks {
+		if s.Pub < t0 {
+			t0 = s.Pub
+		}
+		if s.Exp > t1 {
+			t1 = s.Exp
+		}
+	}
+	opts := f.assignOptions()
+	var samples []tvf.Sample
+	for i := 0; i < instants; i++ {
+		t := t0 + (t1-t0)*float64(i)/float64(instants)
+		var ws []*Worker
+		for _, w := range workers {
+			if w.Available(t) {
+				ws = append(ws, w)
+			}
+		}
+		var ts []*Task
+		for _, s := range tasks {
+			if s.Pub <= t && s.Exp > t {
+				ts = append(ts, s)
+			}
+		}
+		if len(ws) == 0 || len(ts) == 0 {
+			continue
+		}
+		samples = append(samples, assign.CollectSamples(ws, ts, t, opts)...)
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("datawa: no planning instants produced training data")
+	}
+	model := tvf.NewModel(16, f.cfg.Seed)
+	model.Train(samples, tvf.TrainConfig{Epochs: f.cfg.TVFEpochs, Seed: f.cfg.Seed})
+	f.value = model
+	return nil
+}
+
+// HasDemandModel reports whether TrainDemand has succeeded.
+func (f *Framework) HasDemandModel() bool { return f.demand != nil }
+
+// HasValueModel reports whether TrainValue has succeeded.
+func (f *Framework) HasValueModel() bool { return f.value != nil }
+
+// Assign computes one spatial task assignment for the current workers and
+// open tasks at time now — the Task Planning Assignment of Algorithm 4. It
+// uses the TVF-guided search when a value model is trained and the exact
+// DFSearch otherwise.
+func (f *Framework) Assign(workers []*Worker, tasks []*Task, now float64) Plan {
+	s := &assign.Search{Opts: f.assignOptions(), Model: f.value}
+	return s.Plan(workers, tasks, now)
+}
+
+// forecaster builds the stream-time demand source, or nil without a model.
+func (f *Framework) forecaster() stream.Forecaster {
+	if f.demand == nil {
+		return nil
+	}
+	inner := predict.NewForecaster(f.demand, f.seriesConfig(), f.cfg.Window, f.cfg.Threshold, f.cfg.VirtualValidTime)
+	return &prefixedForecaster{inner: inner, prefix: f.history}
+}
+
+// prefixedForecaster prepends training history so early stream windows are
+// complete.
+type prefixedForecaster struct {
+	inner  *predict.Forecaster
+	prefix []*Task
+}
+
+func (p *prefixedForecaster) Virtuals(published []*Task, now float64) []*Task {
+	all := make([]*Task, 0, len(p.prefix)+len(published))
+	all = append(all, p.prefix...)
+	all = append(all, published...)
+	return p.inner.Virtuals(all, now)
+}
+
+func (p *prefixedForecaster) Span() float64 { return p.inner.Span() }
+
+// Run drives the adaptive streaming algorithm (Algorithm 3) over the full
+// worker/task streams on the clock range [t0, t1) using the chosen method.
+// MethodDTATP and MethodDATAWA require a trained demand model;
+// MethodDATAWA additionally requires a trained value function.
+func (f *Framework) Run(m Method, workers []*Worker, tasks []*Task, t0, t1 float64) (Result, error) {
+	in := stream.Input{Workers: workers, Tasks: tasks, T0: t0, T1: t1}
+	cfg := stream.Config{Step: f.cfg.Step, Travel: f.travel}
+	opts := f.assignOptions()
+	switch m {
+	case MethodGreedy:
+		cfg.Planner = &assign.Greedy{Opts: opts}
+	case MethodFTA:
+		cfg.Planner = &assign.Search{Opts: opts}
+		cfg.Fixed = true
+	case MethodDTA:
+		cfg.Planner = &assign.Search{Opts: opts}
+	case MethodDTATP:
+		if f.demand == nil {
+			return Result{}, fmt.Errorf("datawa: %s requires TrainDemand first", m)
+		}
+		cfg.Planner = &assign.Search{Opts: opts}
+		cfg.Forecast = f.forecaster()
+	case MethodDATAWA:
+		if f.demand == nil {
+			return Result{}, fmt.Errorf("datawa: %s requires TrainDemand first", m)
+		}
+		if f.value == nil {
+			return Result{}, fmt.Errorf("datawa: %s requires TrainValue first", m)
+		}
+		cfg.Planner = &assign.Search{Opts: opts, Model: f.value}
+		cfg.Forecast = f.forecaster()
+	default:
+		return Result{}, fmt.Errorf("datawa: unknown method %q", m)
+	}
+	return stream.Run(in, cfg), nil
+}
+
+// YuecheScenario returns the synthetic stand-in for the paper's Yueche
+// trace (Table II).
+func YuecheScenario() ScenarioConfig { return workload.Yueche() }
+
+// DiDiScenario returns the synthetic stand-in for the paper's DiDi trace.
+func DiDiScenario() ScenarioConfig { return workload.DiDi() }
+
+// GenerateScenario materializes a scenario deterministically.
+func GenerateScenario(c ScenarioConfig) *Scenario { return workload.Generate(c) }

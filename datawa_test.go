@@ -1,0 +1,173 @@
+package datawa
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallScenario returns a fast deterministic scenario for façade tests.
+func smallScenario() *Scenario {
+	cfg := YuecheScenario().Scaled(0.04)
+	return GenerateScenario(cfg)
+}
+
+func frameworkFor(s *Scenario) *Framework {
+	return New(Config{
+		Region:   Rect{MinX: 0, MinY: 0, MaxX: 6, MaxY: 6},
+		GridRows: 6, GridCols: 6,
+		Epochs: 3, TVFEpochs: 8, Step: 2, Seed: 7,
+	})
+}
+
+func TestMethodsList(t *testing.T) {
+	ms := Methods()
+	if len(ms) != 5 || ms[0] != MethodGreedy || ms[4] != MethodDATAWA {
+		t.Errorf("Methods() = %v", ms)
+	}
+}
+
+func TestRunBaselinesWithoutTraining(t *testing.T) {
+	s := smallScenario()
+	fw := frameworkFor(s)
+	for _, m := range []Method{MethodGreedy, MethodFTA, MethodDTA} {
+		res, err := fw.Run(m, s.Workers, s.Tasks, s.T0, s.T1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if res.Assigned <= 0 {
+			t.Errorf("%s assigned %d tasks, want > 0", m, res.Assigned)
+		}
+		if res.Assigned+res.Expired > len(s.Tasks) {
+			t.Errorf("%s: assigned+expired exceeds |S|", m)
+		}
+	}
+}
+
+func TestPredictionMethodsRequireTraining(t *testing.T) {
+	s := smallScenario()
+	fw := frameworkFor(s)
+	if _, err := fw.Run(MethodDTATP, s.Workers, s.Tasks, s.T0, s.T1); err == nil {
+		t.Error("DTA+TP without TrainDemand should fail")
+	}
+	if _, err := fw.Run(MethodDATAWA, s.Workers, s.Tasks, s.T0, s.T1); err == nil {
+		t.Error("DATA-WA without training should fail")
+	}
+	if err := fw.TrainDemand(s.History); err != nil {
+		t.Fatalf("TrainDemand: %v", err)
+	}
+	if !fw.HasDemandModel() {
+		t.Error("HasDemandModel should be true after TrainDemand")
+	}
+	if _, err := fw.Run(MethodDATAWA, s.Workers, s.Tasks, s.T0, s.T1); err == nil {
+		t.Error("DATA-WA without TrainValue should still fail")
+	}
+}
+
+func TestFullDATAWAPipeline(t *testing.T) {
+	s := smallScenario()
+	fw := frameworkFor(s)
+	if err := fw.TrainDemand(s.History); err != nil {
+		t.Fatalf("TrainDemand: %v", err)
+	}
+	if err := fw.TrainValue(s.Workers, s.Tasks, 3); err != nil {
+		t.Fatalf("TrainValue: %v", err)
+	}
+	if !fw.HasValueModel() {
+		t.Error("HasValueModel should be true")
+	}
+	for _, m := range []Method{MethodDTATP, MethodDATAWA} {
+		res, err := fw.Run(m, s.Workers, s.Tasks, s.T0, s.T1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if res.Assigned < 0 || res.Assigned > len(s.Tasks) {
+			t.Errorf("%s assigned %d", m, res.Assigned)
+		}
+		if res.PlanCalls == 0 {
+			t.Errorf("%s never planned", m)
+		}
+	}
+}
+
+func TestRunUnknownMethod(t *testing.T) {
+	s := smallScenario()
+	fw := frameworkFor(s)
+	if _, err := fw.Run(Method("bogus"), s.Workers, s.Tasks, s.T0, s.T1); err == nil {
+		t.Error("unknown method should fail")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("error should name the method: %v", err)
+	}
+}
+
+func TestAssignOneInstant(t *testing.T) {
+	s := smallScenario()
+	fw := frameworkFor(s)
+	// Take a mid-run snapshot.
+	now := (s.T0 + s.T1) / 2
+	var workers []*Worker
+	for _, w := range s.Workers {
+		if w.Available(now) {
+			workers = append(workers, w)
+		}
+	}
+	var tasks []*Task
+	for _, task := range s.Tasks {
+		if task.Pub <= now && task.Exp > now {
+			tasks = append(tasks, task)
+		}
+	}
+	if len(workers) == 0 || len(tasks) == 0 {
+		t.Skip("snapshot empty at this scale")
+	}
+	plan := fw.Assign(workers, tasks, now)
+	if _, ok := plan.Consistent(); !ok {
+		t.Error("plan assigns a task twice")
+	}
+}
+
+func TestTrainDemandValidation(t *testing.T) {
+	fw := New(Config{}) // no region
+	if err := fw.TrainDemand([]*Task{{ID: 1}}); err == nil {
+		t.Error("TrainDemand without region should fail")
+	}
+	fw = New(Config{Region: Rect{MinX: 0, MinY: 0, MaxX: 6, MaxY: 6}})
+	if err := fw.TrainDemand(nil); err == nil {
+		t.Error("TrainDemand without history should fail")
+	}
+	// Too little history for even one window.
+	short := []*Task{{ID: 1, Loc: Point{X: 1, Y: 1}, Pub: 0, Exp: 40}}
+	if err := fw.TrainDemand(short); err == nil {
+		t.Error("TrainDemand with one task should fail")
+	}
+}
+
+func TestTrainValueValidation(t *testing.T) {
+	fw := New(Config{Region: Rect{MinX: 0, MinY: 0, MaxX: 6, MaxY: 6}})
+	if err := fw.TrainValue(nil, nil, 4); err == nil {
+		t.Error("TrainValue without data should fail")
+	}
+}
+
+func TestScenarioGenerators(t *testing.T) {
+	y := YuecheScenario()
+	d := DiDiScenario()
+	if y.NumWorkers != 624 || d.NumWorkers != 760 {
+		t.Errorf("scenario cardinalities wrong: %d, %d", y.NumWorkers, d.NumWorkers)
+	}
+	s := GenerateScenario(y.Scaled(0.02))
+	if len(s.Tasks) == 0 || len(s.Workers) == 0 {
+		t.Error("generated scenario empty")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.SpeedKmPerSec <= 0 || c.DeltaT != 5 || c.K != 3 || c.Threshold != 0.85 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	// Explicit values survive.
+	c = Config{DeltaT: 9, K: 4}.withDefaults()
+	if c.DeltaT != 9 || c.K != 4 {
+		t.Errorf("explicit values clobbered: %+v", c)
+	}
+}

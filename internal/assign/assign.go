@@ -1,0 +1,431 @@
+// Package assign implements the task assignment component of DATA-WA
+// (Section IV-B/IV-C): the exact depth-first search over the RTC tree
+// (Algorithm 1, DFSearch) with reinforcement-learning sample collection, the
+// value-function-guided search without backtracking (Algorithm 2,
+// DFSearch_TVF), the Task Planning Assignment driver (Algorithm 4, TPA), and
+// the Greedy baseline of Section V-B.2.
+package assign
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/tvf"
+	"repro/internal/wds"
+)
+
+// Options bounds the planning effort per instant.
+type Options struct {
+	// WDS configures reachable-set and sequence generation.
+	WDS wds.Options
+	// MaxNodes caps the number of exact-search nodes per planning call;
+	// past the budget the search completes greedily (default 20000).
+	MaxNodes int
+	// VirtualWeight is the objective value of assigning a virtual
+	// (predicted) task relative to a real task's 1.0 (default 0.35,
+	// roughly the empirical precision of materialized predictions): the
+	// planner is paid for positioning workers at future demand, but never
+	// at the price of a real task.
+	VirtualWeight float64
+	// MaxSamples caps RL sample collection per planning call (default
+	// 20000).
+	MaxSamples int
+	// Flat disables the RTC tree (ablation): each connected component is
+	// searched as one flat worker list, losing the sibling-independence
+	// pruning of Section IV-A.4.
+	Flat bool
+}
+
+// WithDefaults returns o with zero fields defaulted.
+func (o Options) WithDefaults() Options {
+	o.WDS = o.WDS.WithDefaults()
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 20000
+	}
+	if o.VirtualWeight <= 0 {
+		o.VirtualWeight = 0.35
+	}
+	if o.MaxSamples <= 0 {
+		o.MaxSamples = 20000
+	}
+	return o
+}
+
+// seqValue is the search objective contribution of a sequence: 1 per real
+// task, VirtualWeight per virtual task.
+func seqValue(q core.Sequence, virtualWeight float64) float64 {
+	v := 0.0
+	for _, s := range q {
+		if s.Virtual {
+			v += virtualWeight
+		} else {
+			v++
+		}
+	}
+	return v
+}
+
+// Planner computes a spatial task assignment for the current workers and
+// unassigned tasks at time now. Implementations must be deterministic.
+type Planner interface {
+	Name() string
+	Plan(workers []*core.Worker, tasks []*core.Task, now float64) core.Plan
+}
+
+// ---------------------------------------------------------------------------
+// Greedy baseline
+// ---------------------------------------------------------------------------
+
+// Greedy is the baseline of Section V-B.2(i): it scans workers in id order
+// and hands each the maximal valid task sequence from the still-unassigned
+// tasks, until tasks or workers run out. No dependency reasoning, no
+// look-ahead.
+type Greedy struct {
+	Opts Options
+}
+
+// Name implements Planner.
+func (g *Greedy) Name() string { return "Greedy" }
+
+// Plan implements Planner.
+func (g *Greedy) Plan(workers []*core.Worker, tasks []*core.Task, now float64) core.Plan {
+	o := g.Opts.WithDefaults()
+	ws := append([]*core.Worker(nil), workers...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].ID < ws[j].ID })
+	avail := newTaskSet(tasks)
+	var plan core.Plan
+	for _, w := range ws {
+		rs := wds.ReachableTasks(w, avail.slice(), now, o.WDS)
+		qs := wds.MaximalValidSequences(w, rs, now, o.WDS)
+		if len(qs) == 0 {
+			continue
+		}
+		q := qs[0] // longest, then earliest completion: the maximal set
+		avail.removeSeq(q)
+		plan = append(plan, core.Assignment{Worker: w, Seq: q})
+	}
+	return plan
+}
+
+// ---------------------------------------------------------------------------
+// Search planner: TPA + DFSearch / DFSearch_TVF
+// ---------------------------------------------------------------------------
+
+// Search is the planner used by FTA, DTA, DTA+TP and DATA-WA. With a nil
+// Model it runs the exact DFSearch (Algorithm 1); with a trained TVF model
+// it runs DFSearch_TVF (Algorithm 2), which never backtracks. When Collect
+// is true, exact search emits (state, action, opt) samples into Samples for
+// TVF training.
+type Search struct {
+	Opts    Options
+	Model   *tvf.Model
+	Collect bool
+	// Samples accumulates RL training data across Plan calls when Collect
+	// is set.
+	Samples []tvf.Sample
+	// NodesLastPlan reports the exact-search nodes expended by the most
+	// recent Plan call, for diagnostics and efficiency experiments.
+	NodesLastPlan int
+}
+
+// Name implements Planner.
+func (s *Search) Name() string {
+	if s.Model != nil {
+		return "DFSearch_TVF"
+	}
+	return "DFSearch"
+}
+
+// Plan implements Planner. It is the Task Planning Assignment driver of
+// Algorithm 4: per-worker reachable sets and maximal valid sequences, the
+// worker dependency graph, clique partition and RTC tree (all via
+// wds.Separate), then one search per tree of the forest.
+func (s *Search) Plan(workers []*core.Worker, tasks []*core.Task, now float64) core.Plan {
+	o := s.Opts.WithDefaults()
+	sep := wds.Separate(workers, tasks, now, o.WDS)
+	run := &searchRun{
+		opts:    o,
+		sep:     sep,
+		now:     now,
+		model:   s.Model,
+		collect: s.Collect,
+	}
+	avail := newTaskSet(tasks)
+	forest := sep.Forest
+	if o.Flat {
+		// Ablation: collapse each tree into a single node holding every
+		// worker of the component.
+		flat := make([]*wds.TreeNode, len(forest))
+		for i, root := range forest {
+			ws := root.AllWorkers()
+			sort.Slice(ws, func(a, b int) bool { return ws[a].ID < ws[b].ID })
+			flat[i] = &wds.TreeNode{Workers: ws}
+		}
+		forest = flat
+	}
+	var plan core.Plan
+	for _, root := range forest {
+		if s.Model != nil {
+			plan = append(plan, run.searchTVF(root, avail, root.Workers)...)
+		} else {
+			_, sub := run.search(root, avail, root.Workers)
+			// Commit the winning sub-plan's tasks before the next tree;
+			// trees are independent, so this is bookkeeping only.
+			for _, a := range sub {
+				avail.removeSeq(a.Seq)
+			}
+			plan = append(plan, sub...)
+		}
+	}
+	s.NodesLastPlan = run.nodes
+	if s.Collect {
+		s.Samples = append(s.Samples, run.samples...)
+	}
+	return plan
+}
+
+// searchRun carries the state of one Plan invocation.
+type searchRun struct {
+	opts    Options
+	sep     *wds.Separation
+	now     float64
+	model   *tvf.Model
+	nodes   int
+	collect bool
+	samples []tvf.Sample
+}
+
+// candidates returns the usable subset of Q_w: precomputed sequences whose
+// tasks are all still available.
+func (r *searchRun) candidates(w *core.Worker, avail *taskSet) []core.Sequence {
+	var out []core.Sequence
+	for _, q := range r.sep.Sequences[w.ID] {
+		ok := true
+		for _, s := range q {
+			if !avail.has(s.ID) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// search is Algorithm 1. It returns the best achievable objective value from
+// this node and the plan realizing it. Workers of the node are considered in
+// id order; each worker branches over every usable q ∈ Q_w plus the skip
+// option, which preserves the optimum the paper's worker loop explores while
+// avoiding redundant permutations. When the node budget is exhausted the
+// subtree completes greedily.
+func (r *searchRun) search(n *wds.TreeNode, avail *taskSet, workers []*core.Worker) (float64, core.Plan) {
+	r.nodes++
+	if r.nodes > r.opts.MaxNodes {
+		return r.greedyComplete(n, avail, workers)
+	}
+	if len(workers) == 0 {
+		// Line 15–16: recurse into each child; sibling subtrees are
+		// independent, so their optima add.
+		total := 0.0
+		var plan core.Plan
+		for _, child := range n.Children {
+			v, sub := r.search(child, avail, child.Workers)
+			for _, a := range sub {
+				avail.removeSeq(a.Seq)
+			}
+			total += v
+			plan = append(plan, sub...)
+		}
+		for _, a := range plan {
+			avail.restoreSeq(a.Seq)
+		}
+		return total, plan
+	}
+
+	w := workers[0]
+	rest := workers[1:]
+
+	// Skip branch: w gets nothing.
+	bestVal, bestPlan := r.search(n, avail, rest)
+
+	var st tvf.State
+	if r.collect {
+		st = r.stateFor(n, avail, workers)
+	}
+	for _, q := range r.candidates(w, avail) {
+		avail.removeSeq(q)
+		v, sub := r.search(n, avail, rest)
+		avail.restoreSeq(q)
+		total := v + seqValue(q, r.opts.VirtualWeight)
+		if total > bestVal {
+			bestVal = total
+			bestPlan = append(core.Plan{{Worker: w, Seq: q}}, sub...)
+		}
+		if r.collect && len(r.samples) < r.opts.MaxSamples {
+			// Lines 9–11: record (s_t, a_t, opt).
+			feat := tvf.Featurize(st, tvf.Action{Worker: w, Seq: q}, r.opts.WDS.Travel)
+			r.samples = append(r.samples, tvf.Sample{Features: feat, Opt: total})
+		}
+	}
+	return bestVal, bestPlan
+}
+
+// greedyComplete finishes a subtree without branching once the exact budget
+// is spent: each worker takes its best immediate sequence.
+func (r *searchRun) greedyComplete(n *wds.TreeNode, avail *taskSet, workers []*core.Worker) (float64, core.Plan) {
+	total := 0.0
+	var plan core.Plan
+	var removed []core.Sequence
+	for _, w := range workers {
+		cands := r.candidates(w, avail)
+		if len(cands) == 0 {
+			continue
+		}
+		q := cands[0]
+		avail.removeSeq(q)
+		removed = append(removed, q)
+		total += seqValue(q, r.opts.VirtualWeight)
+		plan = append(plan, core.Assignment{Worker: w, Seq: q})
+	}
+	for _, child := range n.Children {
+		v, sub := r.greedyComplete(child, avail, child.Workers)
+		total += v
+		plan = append(plan, sub...)
+		for _, a := range sub {
+			avail.removeSeq(a.Seq)
+			removed = append(removed, a.Seq)
+		}
+	}
+	for _, q := range removed {
+		avail.restoreSeq(q)
+	}
+	return total, plan
+}
+
+// searchTVF is Algorithm 2: at each worker it commits to the sequence in
+// Q_w whose predicted long-term value is highest (line 8:
+// q_best ← argmax_{q∈Q_W} TVF(s_t, (w,q))) and never backtracks. A worker
+// with no usable sequence is skipped.
+func (r *searchRun) searchTVF(n *wds.TreeNode, avail *taskSet, workers []*core.Worker) core.Plan {
+	r.nodes++
+	var plan core.Plan
+	if len(workers) > 0 {
+		w := workers[0]
+		cands := r.candidates(w, avail)
+		if len(cands) > 0 {
+			st := r.stateFor(n, avail, workers)
+			feats := make([][tvf.FeatureDim]float64, 0, len(cands))
+			for _, q := range cands {
+				feats = append(feats, tvf.Featurize(st, tvf.Action{Worker: w, Seq: q}, r.opts.WDS.Travel))
+			}
+			values := r.model.PredictBatch(feats)
+			bestIdx := 0
+			for i, v := range values {
+				if v > values[bestIdx] {
+					bestIdx = i
+				}
+			}
+			// The learned value is an approximation; among candidates the
+			// model considers near-equal (within a quarter task of the
+			// best), take the one with the higher immediate value so
+			// approximation noise cannot discard an obviously longer
+			// sequence.
+			const nearTie = 0.25
+			for i, v := range values {
+				if v >= values[bestIdx]-nearTie &&
+					seqValue(cands[i], r.opts.VirtualWeight) > seqValue(cands[bestIdx], r.opts.VirtualWeight) {
+					bestIdx = i
+				}
+			}
+			q := cands[bestIdx]
+			avail.removeSeq(q)
+			plan = append(plan, core.Assignment{Worker: w, Seq: q})
+		}
+		plan = append(plan, r.searchTVF(n, avail, workers[1:])...)
+		return plan
+	}
+	for _, child := range n.Children {
+		plan = append(plan, r.searchTVF(child, avail, child.Workers)...)
+	}
+	return plan
+}
+
+// stateFor materializes the RL state (W_N + W_C, S) at a search position.
+func (r *searchRun) stateFor(n *wds.TreeNode, avail *taskSet, workers []*core.Worker) tvf.State {
+	all := append([]*core.Worker(nil), workers...)
+	for _, child := range n.Children {
+		all = append(all, child.AllWorkers()...)
+	}
+	return tvf.State{Workers: all, Tasks: avail.slice(), Now: r.now}
+}
+
+// ---------------------------------------------------------------------------
+// Task set bookkeeping
+// ---------------------------------------------------------------------------
+
+// taskSet tracks available tasks with O(1) removal and restoration and a
+// deterministic slice view.
+type taskSet struct {
+	byID  map[int]*core.Task
+	order []*core.Task // insertion order; removed entries stay but are skipped
+	dirty bool
+	cache []*core.Task
+}
+
+func newTaskSet(tasks []*core.Task) *taskSet {
+	ts := &taskSet{byID: make(map[int]*core.Task, len(tasks))}
+	for _, t := range tasks {
+		if _, dup := ts.byID[t.ID]; dup {
+			continue
+		}
+		ts.byID[t.ID] = t
+		ts.order = append(ts.order, t)
+	}
+	ts.dirty = true
+	return ts
+}
+
+func (ts *taskSet) has(id int) bool {
+	_, ok := ts.byID[id]
+	return ok
+}
+
+func (ts *taskSet) removeSeq(q core.Sequence) {
+	for _, s := range q {
+		delete(ts.byID, s.ID)
+	}
+	ts.dirty = true
+}
+
+func (ts *taskSet) restoreSeq(q core.Sequence) {
+	for _, s := range q {
+		ts.byID[s.ID] = s
+	}
+	ts.dirty = true
+}
+
+// slice returns the available tasks in insertion order.
+func (ts *taskSet) slice() []*core.Task {
+	if !ts.dirty {
+		return ts.cache
+	}
+	out := ts.cache[:0]
+	for _, t := range ts.order {
+		if _, ok := ts.byID[t.ID]; ok {
+			out = append(out, t)
+		}
+	}
+	ts.cache = out
+	ts.dirty = false
+	return out
+}
+
+// CollectSamples runs the exact DFSearch over one planning instant purely to
+// gather TVF training data, the data-generation phase of Section IV-B.
+func CollectSamples(workers []*core.Worker, tasks []*core.Task, now float64, o Options) []tvf.Sample {
+	s := &Search{Opts: o, Collect: true}
+	s.Plan(workers, tasks, now)
+	return s.Samples
+}

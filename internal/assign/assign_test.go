@@ -1,0 +1,330 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/tvf"
+	"repro/internal/wds"
+)
+
+var travel = geo.NewTravelModel(0.01)
+
+func opts() Options {
+	return Options{WDS: wds.Options{Travel: travel}}
+}
+
+func task(id int, x, y, pub, exp float64) *core.Task {
+	return &core.Task{ID: id, Loc: geo.Point{X: x, Y: y}, Pub: pub, Exp: exp, Cell: -1}
+}
+
+func vtask(id int, x, y, pub, exp float64) *core.Task {
+	t := task(id, x, y, pub, exp)
+	t.Virtual = true
+	return t
+}
+
+func worker(id int, x, y, reach, on, off float64) *core.Worker {
+	return &core.Worker{ID: id, Loc: geo.Point{X: x, Y: y}, Reach: reach, On: on, Off: off}
+}
+
+// planIsValid checks the single-assignment invariant and per-worker
+// sequence validity.
+func planIsValid(t *testing.T, plan core.Plan, now float64) {
+	t.Helper()
+	if id, ok := plan.Consistent(); !ok {
+		t.Fatalf("task %d assigned twice", id)
+	}
+	for _, a := range plan {
+		if !core.ValidSequence(a.Worker, now, a.Seq, travel) {
+			t.Fatalf("invalid sequence %v for worker %d", a.Seq.IDs(), a.Worker.ID)
+		}
+	}
+}
+
+func TestGreedyAssignsMaximalSet(t *testing.T) {
+	w := worker(1, 0, 0, 2, 0, 1e5)
+	tasks := []*core.Task{
+		task(1, 0.2, 0, 0, 1e5),
+		task(2, 0.4, 0, 0, 1e5),
+		task(3, 0.6, 0, 0, 1e5),
+	}
+	g := &Greedy{Opts: opts()}
+	plan := g.Plan([]*core.Worker{w}, tasks, 0)
+	planIsValid(t, plan, 0)
+	if plan.Size() != 3 {
+		t.Errorf("greedy assigned %d tasks, want all 3 (MaxSeqLen default)", plan.Size())
+	}
+}
+
+func TestGreedyNoDoubleAssignment(t *testing.T) {
+	// One task reachable by two workers: only one may get it.
+	w1 := worker(1, 0, 0, 1, 0, 1e5)
+	w2 := worker(2, 0.1, 0, 1, 0, 1e5)
+	tasks := []*core.Task{task(1, 0.05, 0, 0, 1e5)}
+	plan := (&Greedy{Opts: opts()}).Plan([]*core.Worker{w1, w2}, tasks, 0)
+	planIsValid(t, plan, 0)
+	if plan.Size() != 1 {
+		t.Errorf("assigned %d, want 1", plan.Size())
+	}
+	// Deterministic: lower id wins.
+	if plan[0].Worker.ID != 1 {
+		t.Errorf("worker %d got the task, want worker 1", plan[0].Worker.ID)
+	}
+}
+
+func TestGreedyEmptyInputs(t *testing.T) {
+	g := &Greedy{Opts: opts()}
+	if plan := g.Plan(nil, nil, 0); len(plan) != 0 {
+		t.Error("empty inputs should give an empty plan")
+	}
+	if g.Name() != "Greedy" {
+		t.Error("name")
+	}
+}
+
+func TestExactSearchBeatsGreedyOnConflict(t *testing.T) {
+	// Classic conflict: w1 can serve t1 or t2; w2 can only serve t1.
+	// Greedy (by id) hands t1 (nearest) to w1, starving w2 → 1 task.
+	// DFSearch assigns t2→w1, t1→w2 → 2 tasks.
+	w1 := worker(1, 0, 0, 1, 0, 1e5)
+	w2 := worker(2, 0.4, 0, 0.3, 0, 1e5)
+	t1 := task(1, 0.2, 0, 0, 1e5) // near w1, the only task w2 reaches
+	t2 := task(2, 0, 0.9, 0, 1e5) // only w1 reaches
+	o := opts()
+	o.WDS.MaxSeqLen = 1 // force the conflict (one task per worker)
+
+	greedy := (&Greedy{Opts: o}).Plan([]*core.Worker{w1, w2}, []*core.Task{t1, t2}, 0)
+	planIsValid(t, greedy, 0)
+	exact := (&Search{Opts: o}).Plan([]*core.Worker{w1, w2}, []*core.Task{t1, t2}, 0)
+	planIsValid(t, exact, 0)
+
+	if greedy.Size() != 1 {
+		t.Errorf("greedy assigned %d, expected the myopic 1", greedy.Size())
+	}
+	if exact.Size() != 2 {
+		t.Errorf("DFSearch assigned %d, want the optimal 2", exact.Size())
+	}
+}
+
+func TestExactSearchMatchesBruteForceSmall(t *testing.T) {
+	// Cross-check the tree search against brute force on random small
+	// instances with MaxSeqLen 1 (assignment-problem flavor).
+	r := rand.New(rand.NewSource(33))
+	o := opts()
+	o.WDS.MaxSeqLen = 1
+	for trial := 0; trial < 40; trial++ {
+		var workers []*core.Worker
+		for i := 0; i < 4; i++ {
+			workers = append(workers, worker(i+1, r.Float64(), r.Float64(), 0.3+r.Float64()*0.4, 0, 1e5))
+		}
+		var tasks []*core.Task
+		for i := 0; i < 5; i++ {
+			tasks = append(tasks, task(i+1, r.Float64(), r.Float64(), 0, 1e5))
+		}
+		plan := (&Search{Opts: o}).Plan(workers, tasks, 0)
+		planIsValid(t, plan, 0)
+		want := bruteForceMax(workers, tasks, o)
+		if plan.Size() != want {
+			t.Fatalf("trial %d: DFSearch=%d brute=%d", trial, plan.Size(), want)
+		}
+	}
+}
+
+// bruteForceMax enumerates every worker→(≤1 task) matching.
+func bruteForceMax(workers []*core.Worker, tasks []*core.Task, o Options) int {
+	o = o.WithDefaults()
+	best := 0
+	var rec func(wi int, used map[int]bool, count int)
+	rec = func(wi int, used map[int]bool, count int) {
+		if count > best {
+			best = count
+		}
+		if wi == len(workers) {
+			return
+		}
+		rec(wi+1, used, count) // skip
+		w := workers[wi]
+		for _, s := range tasks {
+			if used[s.ID] {
+				continue
+			}
+			if core.ValidSequence(w, 0, core.Sequence{s}, o.WDS.Travel) &&
+				o.WDS.Travel.Time(w.Loc, s.Loc) <= s.Exp &&
+				geo.Dist(w.Loc, s.Loc) <= w.Reach {
+				used[s.ID] = true
+				rec(wi+1, used, count+1)
+				used[s.ID] = false
+			}
+		}
+	}
+	rec(0, make(map[int]bool), 0)
+	return best
+}
+
+func TestSearchVirtualWeightPrefersReal(t *testing.T) {
+	// A worker able to serve either one real task or one virtual task
+	// (not both) must pick the real one under VirtualWeight < 1.
+	w := worker(1, 0, 0, 1, 0, 130)
+	real := task(1, 0.5, 0, 0, 1e5)
+	virt := vtask(-1, 0, 0.5, 0, 1e5)
+	o := opts()
+	o.WDS.MaxSeqLen = 1
+	plan := (&Search{Opts: o}).Plan([]*core.Worker{w}, []*core.Task{real, virt}, 0)
+	if plan.Size() != 1 || plan[0].Seq[0].ID != 1 {
+		t.Fatalf("plan = %v, want the real task", plan)
+	}
+}
+
+func TestSearchCollectsSamples(t *testing.T) {
+	w1 := worker(1, 0, 0, 1, 0, 1e5)
+	w2 := worker(2, 0.1, 0, 1, 0, 1e5)
+	tasks := []*core.Task{task(1, 0.05, 0, 0, 1e5), task(2, 0.2, 0, 0, 1e5)}
+	s := &Search{Opts: opts(), Collect: true}
+	s.Plan([]*core.Worker{w1, w2}, tasks, 0)
+	if len(s.Samples) == 0 {
+		t.Fatal("exact search with Collect must emit samples")
+	}
+	for _, sm := range s.Samples {
+		if sm.Opt < 0 {
+			t.Errorf("opt target %v negative", sm.Opt)
+		}
+		if sm.Features[0] != 1 {
+			t.Error("bias feature missing")
+		}
+	}
+	// CollectSamples convenience wrapper agrees.
+	if got := CollectSamples([]*core.Worker{w1, w2}, tasks, 0, opts()); len(got) != len(s.Samples) {
+		t.Errorf("CollectSamples returned %d, want %d", len(got), len(s.Samples))
+	}
+}
+
+func TestSearchTVFProducesValidPlans(t *testing.T) {
+	r := rand.New(rand.NewSource(35))
+	// Train a quick TVF on collected samples, then verify Algorithm 2
+	// yields consistent valid plans.
+	var samples []tvf.Sample
+	var workers []*core.Worker
+	var tasks []*core.Task
+	for i := 0; i < 6; i++ {
+		workers = append(workers, worker(i+1, r.Float64(), r.Float64(), 0.8, 0, 1e5))
+	}
+	for i := 0; i < 10; i++ {
+		tasks = append(tasks, task(i+1, r.Float64(), r.Float64(), 0, 1e5))
+	}
+	samples = CollectSamples(workers, tasks, 0, opts())
+	model := tvf.NewModel(16, 36)
+	model.Train(samples, tvf.TrainConfig{Epochs: 15, Seed: 36})
+
+	s := &Search{Opts: opts(), Model: model}
+	if s.Name() != "DFSearch_TVF" {
+		t.Errorf("name = %q", s.Name())
+	}
+	plan := s.Plan(workers, tasks, 0)
+	planIsValid(t, plan, 0)
+}
+
+func TestSearchTVFNeverBacktracks(t *testing.T) {
+	// Node count for TVF search is linear in tree size, far below the
+	// exact search on the same instance.
+	r := rand.New(rand.NewSource(37))
+	var workers []*core.Worker
+	var tasks []*core.Task
+	for i := 0; i < 8; i++ {
+		workers = append(workers, worker(i+1, r.Float64(), r.Float64(), 1.2, 0, 1e5))
+	}
+	for i := 0; i < 12; i++ {
+		tasks = append(tasks, task(i+1, r.Float64(), r.Float64(), 0, 1e5))
+	}
+	exact := &Search{Opts: opts()}
+	exact.Plan(workers, tasks, 0)
+	model := tvf.NewModel(8, 38)
+	fast := &Search{Opts: opts(), Model: model}
+	fast.Plan(workers, tasks, 0)
+	if fast.NodesLastPlan >= exact.NodesLastPlan {
+		t.Errorf("TVF nodes %d should be below exact nodes %d", fast.NodesLastPlan, exact.NodesLastPlan)
+	}
+}
+
+func TestSearchNodeBudgetFallback(t *testing.T) {
+	// With a tiny node budget the search must still return a valid,
+	// non-trivial plan via greedy completion.
+	r := rand.New(rand.NewSource(39))
+	var workers []*core.Worker
+	var tasks []*core.Task
+	for i := 0; i < 10; i++ {
+		workers = append(workers, worker(i+1, r.Float64(), r.Float64(), 1.5, 0, 1e5))
+	}
+	for i := 0; i < 15; i++ {
+		tasks = append(tasks, task(i+1, r.Float64(), r.Float64(), 0, 1e5))
+	}
+	o := opts()
+	o.MaxNodes = 5
+	plan := (&Search{Opts: o}).Plan(workers, tasks, 0)
+	planIsValid(t, plan, 0)
+	if plan.Size() == 0 {
+		t.Error("budgeted search should still assign tasks")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	var workers []*core.Worker
+	var tasks []*core.Task
+	for i := 0; i < 6; i++ {
+		workers = append(workers, worker(i+1, r.Float64()*2, r.Float64()*2, 1, 0, 1e5))
+	}
+	for i := 0; i < 9; i++ {
+		tasks = append(tasks, task(i+1, r.Float64()*2, r.Float64()*2, 0, 1e5))
+	}
+	a := (&Search{Opts: opts()}).Plan(workers, tasks, 0)
+	b := (&Search{Opts: opts()}).Plan(workers, tasks, 0)
+	if a.Size() != b.Size() || len(a) != len(b) {
+		t.Fatal("nondeterministic plan")
+	}
+	for i := range a {
+		if a[i].Worker.ID != b[i].Worker.ID || a[i].Seq.SetKey() != b[i].Seq.SetKey() {
+			t.Fatal("nondeterministic plan contents")
+		}
+	}
+}
+
+func TestTaskSet(t *testing.T) {
+	t1, t2 := task(1, 0, 0, 0, 1), task(2, 0, 0, 0, 1)
+	ts := newTaskSet([]*core.Task{t1, t2, t1}) // duplicate ignored
+	if !ts.has(1) || !ts.has(2) || len(ts.slice()) != 2 {
+		t.Fatal("init wrong")
+	}
+	ts.removeSeq(core.Sequence{t1})
+	if ts.has(1) || len(ts.slice()) != 1 {
+		t.Fatal("remove wrong")
+	}
+	ts.restoreSeq(core.Sequence{t1})
+	if !ts.has(1) || len(ts.slice()) != 2 {
+		t.Fatal("restore wrong")
+	}
+	// Slice order is stable insertion order.
+	s := ts.slice()
+	if s[0].ID != 1 || s[1].ID != 2 {
+		t.Fatalf("order = %d,%d", s[0].ID, s[1].ID)
+	}
+}
+
+func TestSeqValue(t *testing.T) {
+	q := core.Sequence{task(1, 0, 0, 0, 1), vtask(-1, 0, 0, 0, 1)}
+	if got := seqValue(q, 0.5); got != 1.5 {
+		t.Errorf("seqValue = %v", got)
+	}
+	if got := seqValue(nil, 0.5); got != 0 {
+		t.Errorf("empty seqValue = %v", got)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.MaxNodes <= 0 || o.VirtualWeight <= 0 || o.MaxSamples <= 0 {
+		t.Errorf("defaults missing: %+v", o)
+	}
+}

@@ -1,0 +1,69 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/tvf"
+	"repro/internal/wds"
+)
+
+func benchInstance(nWorkers, nTasks int) ([]*core.Worker, []*core.Task) {
+	r := rand.New(rand.NewSource(13))
+	var ws []*core.Worker
+	for i := 0; i < nWorkers; i++ {
+		ws = append(ws, &core.Worker{
+			ID: i + 1, Loc: geo.Point{X: r.Float64() * 3, Y: r.Float64() * 3},
+			Reach: 1, On: 0, Off: 1e5,
+		})
+	}
+	var ts []*core.Task
+	for i := 0; i < nTasks; i++ {
+		ts = append(ts, &core.Task{
+			ID: i + 1, Loc: geo.Point{X: r.Float64() * 3, Y: r.Float64() * 3},
+			Pub: 0, Exp: 600, Cell: -1,
+		})
+	}
+	return ws, ts
+}
+
+func benchOpts() Options {
+	return Options{WDS: wds.Options{Travel: geo.NewTravelModel(0.005)}, MaxNodes: 5000}
+}
+
+// BenchmarkGreedyPlan measures the baseline planner at planning-instant size.
+func BenchmarkGreedyPlan(b *testing.B) {
+	ws, ts := benchInstance(30, 60)
+	g := &Greedy{Opts: benchOpts()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Plan(ws, ts, 0)
+	}
+}
+
+// BenchmarkExactSearchPlan measures one TPA call with the exact DFSearch.
+func BenchmarkExactSearchPlan(b *testing.B) {
+	ws, ts := benchInstance(30, 60)
+	s := &Search{Opts: benchOpts()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Plan(ws, ts, 0)
+	}
+}
+
+// BenchmarkTVFSearchPlan measures one TPA call with DFSearch_TVF, the
+// efficiency claim of Section IV-B.
+func BenchmarkTVFSearchPlan(b *testing.B) {
+	ws, ts := benchInstance(30, 60)
+	model := tvf.NewModel(16, 17)
+	s := &Search{Opts: benchOpts(), Model: model}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Plan(ws, ts, 0)
+	}
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// BenchmarkArrivalTimes measures Eq. 1 evaluation, the innermost loop of
+// sequence validity checking.
+func BenchmarkArrivalTimes(b *testing.B) {
+	w := worker(1, 0, 0, 5, 0, 1e9)
+	q := Sequence{
+		task(1, 0.3, 0.1, 0, 1e9),
+		task(2, 0.5, 0.4, 0, 1e9),
+		task(3, 0.9, 0.2, 0, 1e9),
+	}
+	m := geo.NewTravelModel(0.005)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ArrivalTimes(w.Loc, 0, q, m)
+	}
+}
+
+// BenchmarkValidSequence measures a full Definition 4 check.
+func BenchmarkValidSequence(b *testing.B) {
+	w := worker(1, 0, 0, 5, 0, 1e9)
+	q := Sequence{
+		task(1, 0.3, 0.1, 0, 1e9),
+		task(2, 0.5, 0.4, 0, 1e9),
+		task(3, 0.9, 0.2, 0, 1e9),
+	}
+	m := geo.NewTravelModel(0.005)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ValidSequence(w, 0, q, m)
+	}
+}

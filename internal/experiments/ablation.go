@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/assign"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// The ablation experiments quantify the design decisions called out in
+// DESIGN.md §4: the learned dynamic adjacency, the TVF versus exact search,
+// the RTC tree versus flat component search, and the sequence-length cap.
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-adjacency",
+		Title: "DDGNN dynamic adjacency vs identity propagation",
+		Run:   runAdjacencyAblation,
+	})
+	register(Experiment{
+		ID:    "ablation-tvf",
+		Title: "Exact DFSearch vs DFSearch_TVF: quality and search effort",
+		Run:   runTVFAblation,
+	})
+	register(Experiment{
+		ID:    "ablation-flat",
+		Title: "RTC tree search vs flat component search",
+		Run:   runFlatAblation,
+	})
+	register(Experiment{
+		ID:    "ablation-seqlen",
+		Title: "Effect of the maximal sequence length cap",
+		Run:   runSeqLenAblation,
+	})
+}
+
+func runAdjacencyAblation(s Scale) []*Table {
+	s = s.withDefaults()
+	t := &Table{
+		ID:     "ablation-adjacency",
+		Title:  "Average precision with and without the Demand Dependency Learning module",
+		Header: []string{"dataset", "model", "AP"},
+	}
+	for _, base := range []workload.Config{workload.Yueche(), workload.DiDi()} {
+		sc := workload.Generate(scaledConfig(base, s))
+		for _, name := range []string{"DDGNN", "DDGNN-static"} {
+			res, _ := trainEval(name, sc, DeltaTValues[0], s, base.Seed)
+			t.Add(base.Name, name, fmtF(res.AP))
+		}
+	}
+	return []*Table{t}
+}
+
+func runTVFAblation(s Scale) []*Table {
+	s = s.withDefaults()
+	t := &Table{
+		ID:     "ablation-tvf",
+		Title:  "Backtracking exact search vs value-function search",
+		Header: []string{"dataset", "solver", "assigned", "cpu_per_instant", "nodes_last_plan"},
+	}
+	for _, base := range []workload.Config{workload.Yueche()} {
+		sc := workload.Generate(scaledConfig(base, s))
+		in := stream.Input{Workers: sc.Workers, Tasks: sc.Tasks, T0: sc.T0, T1: sc.T1}
+		valueFn := trainTVF(sc, nil, s)
+
+		exact := &assign.Search{Opts: assignOptions(s)}
+		resExact := stream.Run(in, stream.Config{Planner: exact, Step: s.Step, Travel: travelModel})
+		t.Add(base.Name, "DFSearch", fmt.Sprintf("%d", resExact.Assigned),
+			fmtDuration(resExact.AvgPlanTime), fmt.Sprintf("%d", exact.NodesLastPlan))
+
+		fast := &assign.Search{Opts: assignOptions(s), Model: valueFn}
+		resFast := stream.Run(in, stream.Config{Planner: fast, Step: s.Step, Travel: travelModel})
+		t.Add(base.Name, "DFSearch_TVF", fmt.Sprintf("%d", resFast.Assigned),
+			fmtDuration(resFast.AvgPlanTime), fmt.Sprintf("%d", fast.NodesLastPlan))
+	}
+	return []*Table{t}
+}
+
+func runFlatAblation(s Scale) []*Table {
+	s = s.withDefaults()
+	t := &Table{
+		ID:     "ablation-flat",
+		Title:  "Worker dependency separation: tree vs flat",
+		Header: []string{"dataset", "mode", "assigned", "cpu_per_instant"},
+	}
+	sc := workload.Generate(scaledConfig(workload.Yueche(), s))
+	in := stream.Input{Workers: sc.Workers, Tasks: sc.Tasks, T0: sc.T0, T1: sc.T1}
+
+	tree := &assign.Search{Opts: assignOptions(s)}
+	resTree := stream.Run(in, stream.Config{Planner: tree, Step: s.Step, Travel: travelModel})
+	t.Add("Yueche", "rtc-tree", fmt.Sprintf("%d", resTree.Assigned), fmtDuration(resTree.AvgPlanTime))
+
+	flatOpts := assignOptions(s)
+	flatOpts.Flat = true
+	flat := &assign.Search{Opts: flatOpts}
+	resFlat := stream.Run(in, stream.Config{Planner: flat, Step: s.Step, Travel: travelModel})
+	t.Add("Yueche", "flat", fmt.Sprintf("%d", resFlat.Assigned), fmtDuration(resFlat.AvgPlanTime))
+	return []*Table{t}
+}
+
+func runSeqLenAblation(s Scale) []*Table {
+	s = s.withDefaults()
+	t := &Table{
+		ID:     "ablation-seqlen",
+		Title:  "Maximal valid sequence length cap",
+		Header: []string{"dataset", "max_seq_len", "assigned", "cpu_per_instant"},
+	}
+	sc := workload.Generate(scaledConfig(workload.Yueche(), s))
+	in := stream.Input{Workers: sc.Workers, Tasks: sc.Tasks, T0: sc.T0, T1: sc.T1}
+	for _, l := range []int{1, 2, 3} {
+		opts := assignOptions(s)
+		opts.WDS.MaxSeqLen = l
+		res := stream.Run(in, stream.Config{Planner: &assign.Search{Opts: opts}, Step: s.Step, Travel: travelModel})
+		t.Add("Yueche", fmt.Sprintf("%d", l), fmt.Sprintf("%d", res.Assigned), fmtDuration(res.AvgPlanTime))
+	}
+	return []*Table{t}
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-breaks",
+		Title: "Dynamic worker availability windows (unplanned breaks)",
+		Run:   runBreaksAblation,
+	})
+}
+
+// runBreaksAblation exercises the paper's title feature: worker availability
+// windows that change dynamically (breaks/shifts). Fixed plans should suffer
+// most when windows fragment, since a departing worker strands its locked
+// sequence; adaptive methods re-plan around the gap.
+func runBreaksAblation(s Scale) []*Table {
+	s = s.withDefaults()
+	t := &Table{
+		ID:     "ablation-breaks",
+		Title:  "Effect of availability-window fragmentation",
+		Header: []string{"dataset", "break_prob", "method", "assigned", "cpu_per_instant"},
+	}
+	for _, prob := range []float64{0, 0.5} {
+		cfg := scaledConfig(workload.Yueche(), s)
+		cfg.BreakProb = prob
+		cfg.BreakLength = cfg.WorkerAvail * 0.25
+		sc := workload.Generate(cfg)
+		for _, r := range RunMethods(sc, s) {
+			t.Add("Yueche", fmt.Sprintf("%.1f", prob), r.Method,
+				fmt.Sprintf("%d", r.Assigned), fmtDuration(r.AvgCPU))
+		}
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// tiny returns the fastest possible scale for integration tests.
+func tiny() Scale {
+	s := Quick
+	s.SweepPoints = 1
+	return s
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table/figure of the paper's evaluation plus the four design
+	// ablations must be registered.
+	want := []string{
+		"table2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"ablation-adjacency", "ablation-tvf", "ablation-flat", "ablation-seqlen",
+		"ablation-breaks",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	// All() is sorted.
+	ids := All()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1].ID >= ids[i].ID {
+			t.Error("All() not sorted by id")
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID of unknown id should fail")
+	}
+}
+
+func TestTable2Experiment(t *testing.T) {
+	e, _ := ByID("table2")
+	tables := e.Run(tiny())
+	if len(tables) != 1 {
+		t.Fatalf("table2 produced %d tables", len(tables))
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 2 {
+		t.Fatalf("table2 has %d rows, want 2 datasets", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "Yueche" || tab.Rows[1][0] != "DiDi" {
+		t.Errorf("dataset names: %v, %v", tab.Rows[0][0], tab.Rows[1][0])
+	}
+	// Render paths.
+	if !strings.Contains(tab.String(), "Yueche") {
+		t.Error("String() missing data")
+	}
+	if !strings.Contains(tab.CSV(), "dataset,workers") {
+		t.Error("CSV() missing header")
+	}
+}
+
+func TestAssignmentSweepShapes(t *testing.T) {
+	e, _ := ByID("fig9")
+	tables := e.Run(tiny())
+	if len(tables) != 2 {
+		t.Fatalf("fig9 produced %d tables, want one per dataset", len(tables))
+	}
+	for _, tab := range tables {
+		// One sweep point × five methods.
+		if len(tab.Rows) != len(MethodNames) {
+			t.Fatalf("%s: %d rows", tab.Title, len(tab.Rows))
+		}
+		for i, row := range tab.Rows {
+			if row[1] != MethodNames[i] {
+				t.Errorf("row %d method = %s, want %s", i, row[1], MethodNames[i])
+			}
+		}
+	}
+}
+
+func TestPredictionFigureShapes(t *testing.T) {
+	e, _ := ByID("fig5")
+	tables := e.Run(tiny())
+	if len(tables) != 1 {
+		t.Fatalf("fig5 produced %d tables", len(tables))
+	}
+	tab := tables[0]
+	// One sweep point × three models.
+	if len(tab.Rows) != len(PredictorNames) {
+		t.Fatalf("fig5 rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] == "" || row[2] == "NaN" {
+			t.Errorf("AP cell empty: %v", row)
+		}
+	}
+}
+
+func TestRunMethodsOrderAndSanity(t *testing.T) {
+	s := tiny()
+	sc := workload.Generate(scaledConfig(workload.Yueche(), s))
+	results := RunMethods(sc, s)
+	if len(results) != 5 {
+		t.Fatalf("RunMethods returned %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Method != MethodNames[i] {
+			t.Errorf("result %d is %s, want %s", i, r.Method, MethodNames[i])
+		}
+		if r.Assigned < 0 || r.Assigned > len(sc.Tasks) {
+			t.Errorf("%s assigned %d of %d tasks", r.Method, r.Assigned, len(sc.Tasks))
+		}
+	}
+	// Greedy must be the cheapest planner (it does no tree search).
+	for _, r := range results[1:] {
+		if results[0].AvgCPU > r.AvgCPU {
+			t.Logf("note: Greedy CPU %v above %s CPU %v (tiny scale noise)", results[0].AvgCPU, r.Method, r.AvgCPU)
+		}
+	}
+}
+
+func TestSweepTrimming(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	s := Scale{SweepPoints: 2}
+	got := s.sweep(vals)
+	if len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Errorf("sweep(2) = %v", got)
+	}
+	s.SweepPoints = 1
+	if got := s.sweep(vals); len(got) != 1 || got[0] != 1 {
+		t.Errorf("sweep(1) = %v", got)
+	}
+	s.SweepPoints = 0
+	if got := s.sweep(vals); len(got) != 5 {
+		t.Errorf("sweep(0) = %v", got)
+	}
+	s.SweepPoints = 9
+	if got := s.sweep(vals); len(got) != 5 {
+		t.Errorf("sweep(9) = %v", got)
+	}
+}
+
+func TestScaledConfigBoostsHistory(t *testing.T) {
+	s := Scale{Factor: 0.05}
+	base := workload.Yueche()
+	c := scaledConfig(base, s)
+	if c.HistoryDuration <= base.HistoryDuration*0.05+1 {
+		t.Errorf("history %v not boosted", c.HistoryDuration)
+	}
+	if c.HistoryDuration > base.HistoryDuration {
+		t.Errorf("history %v exceeds full duration", c.HistoryDuration)
+	}
+}

@@ -1,0 +1,57 @@
+package graphutil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n int, p float64) *Graph {
+	r := rand.New(rand.NewSource(11))
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// BenchmarkFillIn measures chordal completion via the elimination game on a
+// component-sized dependency graph.
+func BenchmarkFillIn(b *testing.B) {
+	g := benchGraph(40, 0.15)
+	vs := make([]int, 40)
+	for i := range vs {
+		vs[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.FillIn(vs)
+	}
+}
+
+// BenchmarkMaximalCliques measures clique extraction from the chordal
+// completion.
+func BenchmarkMaximalCliques(b *testing.B) {
+	g := benchGraph(40, 0.15)
+	vs := make([]int, 40)
+	for i := range vs {
+		vs[i] = i
+	}
+	h, peo := g.FillIn(vs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaximalCliquesChordal(h, peo)
+	}
+}
+
+// BenchmarkComponents measures connected-component extraction.
+func BenchmarkComponents(b *testing.B) {
+	g := benchGraph(200, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Components(nil)
+	}
+}

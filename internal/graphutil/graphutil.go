@@ -1,0 +1,332 @@
+// Package graphutil provides the undirected-graph algorithms behind Worker
+// Dependency Separation (Section IV-A): connected components, Maximum
+// Cardinality Search (Tarjan & Yannakakis 1984), chordal completion via the
+// elimination game, maximal cliques of chordal graphs, and a chordality
+// test. Vertices are dense ints in [0, N).
+package graphutil
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph with a fixed vertex count.
+type Graph struct {
+	n   int
+	adj []map[int]struct{}
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graphutil: negative vertex count %d", n))
+	}
+	g := &Graph{n: n, adj: make([]map[int]struct{}, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]struct{})
+	}
+	return g
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}; self-loops are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.check(u)
+	g.check(v)
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graphutil: vertex %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int {
+	g.check(v)
+	return len(g.adj[v])
+}
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Neighbors returns the sorted neighbor list of v.
+func (g *Graph) Neighbors(v int) []int {
+	g.check(v)
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	out := New(g.n)
+	for v, a := range g.adj {
+		for u := range a {
+			if u > v {
+				out.AddEdge(v, u)
+			}
+		}
+	}
+	return out
+}
+
+// Components returns the connected components over the vertices for which
+// include(v) is true (all vertices when include is nil). Each component is
+// sorted ascending and components are ordered by their smallest vertex.
+func (g *Graph) Components(include func(int) bool) [][]int {
+	in := func(v int) bool { return include == nil || include(v) }
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] || !in(s) {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for u := range g.adj[v] {
+				if !seen[u] && in(u) {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// MCS runs Maximum Cardinality Search over the given vertex subset and
+// returns the visit order (first visited first). Ties break toward the
+// smallest vertex id, so the result is deterministic. The *reverse* of the
+// visit order is a perfect elimination ordering when the induced subgraph
+// is chordal.
+func (g *Graph) MCS(vertices []int) []int {
+	in := make(map[int]bool, len(vertices))
+	for _, v := range vertices {
+		g.check(v)
+		in[v] = true
+	}
+	weight := make(map[int]int, len(vertices))
+	visited := make(map[int]bool, len(vertices))
+	order := make([]int, 0, len(vertices))
+	for len(order) < len(in) {
+		best, bestW := -1, -1
+		// Deterministic: scan ascending ids.
+		sorted := make([]int, 0, len(in))
+		for v := range in {
+			sorted = append(sorted, v)
+		}
+		sort.Ints(sorted)
+		for _, v := range sorted {
+			if visited[v] {
+				continue
+			}
+			if weight[v] > bestW {
+				best, bestW = v, weight[v]
+			}
+		}
+		visited[best] = true
+		order = append(order, best)
+		for u := range g.adj[best] {
+			if in[u] && !visited[u] {
+				weight[u]++
+			}
+		}
+	}
+	return order
+}
+
+// FillIn runs the elimination game on the subgraph induced by vertices,
+// using the reverse MCS visit order as the elimination order. It returns
+// the chordal completion H (on the same vertex ids, containing only edges
+// among the subset plus fill edges) and the perfect elimination ordering of
+// H (first eliminated first).
+func (g *Graph) FillIn(vertices []int) (*Graph, []int) {
+	order := g.MCS(vertices)
+	// Eliminate in reverse visit order.
+	peo := make([]int, len(order))
+	for i, v := range order {
+		peo[len(order)-1-i] = v
+	}
+	pos := make(map[int]int, len(peo))
+	for i, v := range peo {
+		pos[v] = i
+	}
+	h := New(g.n)
+	in := make(map[int]bool, len(vertices))
+	for _, v := range vertices {
+		in[v] = true
+	}
+	for v, a := range g.adj {
+		if !in[v] {
+			continue
+		}
+		for u := range a {
+			if in[u] && u > v {
+				h.AddEdge(v, u)
+			}
+		}
+	}
+	for _, v := range peo {
+		// Later neighbors of v (not yet eliminated) must form a clique.
+		later := make([]int, 0, len(h.adj[v]))
+		for u := range h.adj[v] {
+			if pos[u] > pos[v] {
+				later = append(later, u)
+			}
+		}
+		for i := 0; i < len(later); i++ {
+			for j := i + 1; j < len(later); j++ {
+				h.AddEdge(later[i], later[j])
+			}
+		}
+	}
+	return h, peo
+}
+
+// MaximalCliquesChordal returns the maximal cliques of a chordal graph h
+// restricted to the vertices of the given perfect elimination ordering.
+// Each candidate clique is {v} ∪ {later neighbors of v}; non-maximal
+// candidates are filtered out. Cliques are sorted internally and ordered by
+// their smallest vertex for determinism.
+func MaximalCliquesChordal(h *Graph, peo []int) [][]int {
+	pos := make(map[int]int, len(peo))
+	for i, v := range peo {
+		pos[v] = i
+	}
+	var cands [][]int
+	for _, v := range peo {
+		c := []int{v}
+		for u := range h.adj[v] {
+			if p, ok := pos[u]; ok && p > pos[v] {
+				c = append(c, u)
+			}
+		}
+		sort.Ints(c)
+		cands = append(cands, c)
+	}
+	// Filter cliques contained in another candidate.
+	var out [][]int
+	for i, c := range cands {
+		maximal := true
+		for j, d := range cands {
+			if i == j || len(c) > len(d) {
+				continue
+			}
+			if len(c) == len(d) && i < j {
+				continue // keep the first of duplicates
+			}
+			if subset(c, d) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// subset reports whether sorted slice a ⊆ sorted slice b.
+func subset(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// IsClique reports whether the given vertices are pairwise adjacent in g.
+func (g *Graph) IsClique(vs []int) bool {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !g.HasEdge(vs[i], vs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsChordal reports whether the subgraph induced by vertices is chordal, by
+// checking the perfect-elimination property of the reverse MCS order.
+func (g *Graph) IsChordal(vertices []int) bool {
+	order := g.MCS(vertices)
+	in := make(map[int]bool, len(vertices))
+	for _, v := range vertices {
+		in[v] = true
+	}
+	pos := make(map[int]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	// Reverse visit order is the elimination order; equivalently, for each
+	// v, its already-visited neighbors at visit time must... the standard
+	// check: for elimination order σ = reverse(order), later neighbors of
+	// each vertex must form a clique.
+	for _, v := range order {
+		var earlier []int // visited before v ⇒ eliminated after v
+		for u := range g.adj[v] {
+			if in[u] && pos[u] < pos[v] {
+				earlier = append(earlier, u)
+			}
+		}
+		// v's earlier-visited neighbors: the one visited last, say w, must
+		// be adjacent to all others (the classic MCS chordality test).
+		if len(earlier) <= 1 {
+			continue
+		}
+		w := earlier[0]
+		for _, u := range earlier[1:] {
+			if pos[u] > pos[w] {
+				w = u
+			}
+		}
+		for _, u := range earlier {
+			if u != w && !g.HasEdge(u, w) {
+				return false
+			}
+		}
+	}
+	return true
+}

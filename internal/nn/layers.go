@@ -1,0 +1,300 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Params owns the trainable parameters of a model and the RNG used to
+// initialize them, so whole-model training is reproducible from one seed.
+type Params struct {
+	nodes []*Node
+	rng   *rand.Rand
+}
+
+// NewParams returns an empty parameter set seeded deterministically.
+func NewParams(seed int64) *Params {
+	return &Params{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Matrix allocates a rows×cols parameter initialized N(0, std²) and
+// registers it for optimization.
+func (p *Params) Matrix(rows, cols int, std float64) *Node {
+	n := Variable(tensor.Randn(rows, cols, std, p.rng))
+	p.nodes = append(p.nodes, n)
+	return n
+}
+
+// Xavier allocates a rows×cols parameter with Xavier/Glorot initialization.
+func (p *Params) Xavier(rows, cols int) *Node {
+	return p.Matrix(rows, cols, math.Sqrt(2.0/float64(rows+cols)))
+}
+
+// Zeros allocates a zero-initialized parameter (typical for biases).
+func (p *Params) Zeros(rows, cols int) *Node {
+	n := Variable(tensor.New(rows, cols))
+	p.nodes = append(p.nodes, n)
+	return n
+}
+
+// All returns every registered parameter.
+func (p *Params) All() []*Node { return p.nodes }
+
+// Count returns the total number of scalar parameters.
+func (p *Params) Count() int {
+	n := 0
+	for _, node := range p.nodes {
+		n += len(node.Val.Data)
+	}
+	return n
+}
+
+// ZeroGrads clears accumulated gradients before a new backward pass.
+func (p *Params) ZeroGrads() {
+	for _, n := range p.nodes {
+		if n.Grad != nil {
+			n.Grad.Zero()
+		}
+	}
+}
+
+// ClipGrads rescales all gradients so their global L2 norm is at most max.
+// It returns the pre-clip norm.
+func ClipGrads(params []*Node, max float64) float64 {
+	total := 0.0
+	for _, n := range params {
+		if n.Grad == nil {
+			continue
+		}
+		for _, g := range n.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > max && norm > 0 {
+		k := max / norm
+		for _, n := range params {
+			if n.Grad == nil {
+				continue
+			}
+			for i := range n.Grad.Data {
+				n.Grad.Data[i] *= k
+			}
+		}
+	}
+	return norm
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) over a fixed parameter list,
+// with optional decoupled weight decay (AdamW).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	// WeightDecay, when positive, shrinks parameters by LR·WeightDecay·θ
+	// per step, decoupled from the adaptive update.
+	WeightDecay float64
+
+	t int
+	m map[*Node][]float64
+	v map[*Node][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard defaults and the given
+// learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Node][]float64), v: make(map[*Node][]float64),
+	}
+}
+
+// Step applies one Adam update to every parameter with a gradient.
+func (o *Adam) Step(params []*Node) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, n := range params {
+		if n.Grad == nil {
+			continue
+		}
+		m, ok := o.m[n]
+		if !ok {
+			m = make([]float64, len(n.Val.Data))
+			o.m[n] = m
+			o.v[n] = make([]float64, len(n.Val.Data))
+		}
+		v := o.v[n]
+		for i, g := range n.Grad.Data {
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			n.Val.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+			if o.WeightDecay > 0 {
+				n.Val.Data[i] -= o.LR * o.WeightDecay * n.Val.Data[i]
+			}
+		}
+	}
+}
+
+// SGD is plain stochastic gradient descent, used by the TVF trainer.
+type SGD struct{ LR float64 }
+
+// Step applies one SGD update.
+func (o SGD) Step(params []*Node) {
+	for _, n := range params {
+		if n.Grad == nil {
+			continue
+		}
+		for i, g := range n.Grad.Data {
+			n.Val.Data[i] -= o.LR * g
+		}
+	}
+}
+
+// Linear is a fully connected layer y = xW + b.
+type Linear struct {
+	W, B *Node
+}
+
+// NewLinear allocates a Linear layer with Xavier weights and zero bias.
+func NewLinear(p *Params, in, out int) *Linear {
+	return &Linear{W: p.Xavier(in, out), B: p.Zeros(1, out)}
+}
+
+// Forward applies the layer to a batch (rows = examples).
+func (l *Linear) Forward(x *Node) *Node {
+	return AddBias(MatMul(x, l.W), l.B)
+}
+
+// CausalConv is one tap-K dilated causal convolution along the time axis.
+// The time axis is represented as a Go slice of nodes, each an M×In matrix
+// (M = grid cells). Output at step t combines inputs at t, t−d, …,
+// t−(K−1)·d per Eq. 3 of the paper; missing steps are zero padding.
+type CausalConv struct {
+	Taps     []*Node // K weight matrices, each In×Out
+	B        *Node   // 1×Out bias
+	Dilation int
+}
+
+// NewCausalConv allocates a causal convolution with K taps (the paper fixes
+// the filter dimension K to 3) and the given dilation factor.
+func NewCausalConv(p *Params, in, out, k, dilation int) *CausalConv {
+	c := &CausalConv{Dilation: dilation, B: p.Zeros(1, out)}
+	for i := 0; i < k; i++ {
+		c.Taps = append(c.Taps, p.Xavier(in, out))
+	}
+	return c
+}
+
+// Forward maps a sequence of M×In inputs to a sequence of M×Out outputs of
+// the same length.
+func (c *CausalConv) Forward(xs []*Node) []*Node {
+	out := make([]*Node, len(xs))
+	for t := range xs {
+		var acc *Node
+		for i, w := range c.Taps {
+			src := t - i*c.Dilation
+			if src < 0 {
+				continue // zero padding
+			}
+			term := MatMul(xs[src], w)
+			if acc == nil {
+				acc = term
+			} else {
+				acc = Add(acc, term)
+			}
+		}
+		if acc == nil {
+			// All taps out of range (cannot happen for i=0, but keep safe).
+			acc = MatMul(xs[t], c.Taps[0])
+		}
+		out[t] = AddBias(acc, c.B)
+	}
+	return out
+}
+
+// GatedCausalConv is the gated temporal block of Eq. 7:
+// Z = tanh(Θ₁*X + b₁) ⊙ σ(Θ₂*X + b₂).
+type GatedCausalConv struct {
+	Filter, Gate *CausalConv
+}
+
+// NewGatedCausalConv allocates the two parallel convolutions of the gate.
+func NewGatedCausalConv(p *Params, in, out, k, dilation int) *GatedCausalConv {
+	return &GatedCausalConv{
+		Filter: NewCausalConv(p, in, out, k, dilation),
+		Gate:   NewCausalConv(p, in, out, k, dilation),
+	}
+}
+
+// Forward applies the gated convolution to the sequence.
+func (g *GatedCausalConv) Forward(xs []*Node) []*Node {
+	f := g.Filter.Forward(xs)
+	s := g.Gate.Forward(xs)
+	out := make([]*Node, len(xs))
+	for t := range xs {
+		out[t] = Mul(Tanh(f[t]), Sigmoid(s[t]))
+	}
+	return out
+}
+
+// NormalizeAdjacency builds Â = D^{-1/2}(A+I)D^{-1/2} differentiably, where
+// D_ii = 1 + Σ_j A_ij (Eqs. 8–9). A must be square with non-negative
+// entries (e.g. a row-softmax output).
+func NormalizeAdjacency(a *Node) *Node {
+	n := a.Val.Rows
+	withSelf := Add(a, Leaf(tensor.Eye(n)))
+	deg := AddConst(RowSum(a), 1) // n×1, D_ii = 1 + Σ_j A_ij
+	dinv := PowElem(deg, -0.5)    // n×1
+	half := ScaleRows(withSelf, dinv)
+	return ScaleCols(half, Transpose(dinv))
+}
+
+// APPNP runs the Approximate Personalized Propagation of Neural Predictions
+// layer (Eqs. 8–9): Z^{h+1} = αZ⁰ + (1−α)ÂZ^h for H power-iteration steps,
+// with a final ReLU. normAdj must already be normalized.
+func APPNP(z0, normAdj *Node, alpha float64, steps int) *Node {
+	z := z0
+	for h := 0; h < steps; h++ {
+		z = Add(Scale(z0, alpha), Scale(MatMul(normAdj, z), 1-alpha))
+	}
+	return ReLU(z)
+}
+
+// LSTMCell is a standard LSTM cell with combined input/hidden weights,
+// used by the LSTM prediction baseline (Section V-B.1 method i).
+type LSTMCell struct {
+	Hidden int
+	// One Linear per gate over [x ; h].
+	Wi, Wf, Wo, Wg *Linear
+}
+
+// NewLSTMCell allocates an LSTM cell for the given input and hidden sizes.
+func NewLSTMCell(p *Params, in, hidden int) *LSTMCell {
+	return &LSTMCell{
+		Hidden: hidden,
+		Wi:     NewLinear(p, in+hidden, hidden),
+		Wf:     NewLinear(p, in+hidden, hidden),
+		Wo:     NewLinear(p, in+hidden, hidden),
+		Wg:     NewLinear(p, in+hidden, hidden),
+	}
+}
+
+// InitState returns zero h and c states for a batch of the given size.
+func (l *LSTMCell) InitState(batch int) (h, c *Node) {
+	return Leaf(tensor.New(batch, l.Hidden)), Leaf(tensor.New(batch, l.Hidden))
+}
+
+// Step consumes one time step x (batch×in) and returns the new (h, c).
+func (l *LSTMCell) Step(x, h, c *Node) (*Node, *Node) {
+	xh := ConcatCols(x, h)
+	i := Sigmoid(l.Wi.Forward(xh))
+	f := Sigmoid(l.Wf.Forward(xh))
+	o := Sigmoid(l.Wo.Forward(xh))
+	g := Tanh(l.Wg.Forward(xh))
+	cNew := Add(Mul(f, c), Mul(i, g))
+	hNew := Mul(o, Tanh(cNew))
+	return hNew, cNew
+}

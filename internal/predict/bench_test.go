@@ -1,0 +1,51 @@
+package predict
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkDDGNNTrainEpoch measures one epoch of DDGNN training on a
+// realistic window count (the dominant cost of the prediction component).
+func BenchmarkDDGNNTrainEpoch(b *testing.B) {
+	vectors := syntheticSeries(36, 3, 40, 21)
+	ws := windowsFrom(vectors, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewDDGNN(DDGNNConfig{K: 3, Hidden: 16, Embed: 8, Train: TrainConfig{Epochs: 1, Seed: 21}})
+		if err := m.Fit(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDDGNNPredict measures one inference pass — the paper's testing
+// time metric (Figs. 5d/6d).
+func BenchmarkDDGNNPredict(b *testing.B) {
+	vectors := syntheticSeries(36, 3, 12, 22)
+	ws := windowsFrom(vectors, 8)
+	m := NewDDGNN(DDGNNConfig{K: 3, Hidden: 16, Embed: 8, Train: TrainConfig{Epochs: 1, Seed: 22}})
+	if err := m.Fit(ws[:2]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(ws[len(ws)-1].Inputs)
+	}
+}
+
+// BenchmarkBuildSeries measures series discretization over a city-hour of
+// tasks.
+func BenchmarkBuildSeries(b *testing.B) {
+	cfg := testConfig()
+	var tasks []*core.Task
+	for i := 0; i < 5000; i++ {
+		tasks = append(tasks, taskAt(i, 0.5, 0.5, float64(i)*0.7))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildSeries(cfg, tasks, 3500)
+	}
+}

@@ -1,0 +1,67 @@
+package predict
+
+import (
+	"repro/internal/core"
+)
+
+// Forecaster turns a trained Predictor into a stream-time source of virtual
+// tasks: at each prediction instant it rebuilds the task multivariate time
+// series from the tasks published so far, predicts the next vector, and
+// materializes cells×intervals whose probability clears the threshold.
+type Forecaster struct {
+	Model Predictor
+	Cfg   SeriesConfig
+	// History is the window length (in vectors) fed to the model.
+	History int
+	// Threshold is the materialization threshold (paper: 0.85).
+	Threshold float64
+	// ValidTime is the validity e−p given to virtual tasks, matching the
+	// scenario's task validity so planners treat them like real demand.
+	ValidTime float64
+	// Horizon is the forecasting distance in vectors (default 1: the next
+	// vector). Set 2 to predict one full interval ahead, giving workers
+	// travel lead time; the model must be trained at the same horizon.
+	Horizon int
+
+	nextID int
+}
+
+// NewForecaster wraps a trained model. idStart must be negative so virtual
+// ids never collide with real task ids.
+func NewForecaster(model Predictor, cfg SeriesConfig, history int, threshold, validTime float64) *Forecaster {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return &Forecaster{
+		Model:     model,
+		Cfg:       cfg,
+		History:   history,
+		Threshold: threshold,
+		ValidTime: validTime,
+		nextID:    -1,
+	}
+}
+
+// Virtuals predicts the demand vector that begins at or after now and
+// returns the corresponding virtual tasks. published must contain every
+// real task published before now (later tasks are ignored). It returns nil
+// until enough history has accumulated.
+func (f *Forecaster) Virtuals(published []*core.Task, now float64) []*core.Task {
+	s := BuildSeries(f.Cfg, published, now)
+	if s.P() < f.History {
+		return nil
+	}
+	window := s.Vectors[s.P()-f.History:]
+	probs := f.Model.Predict(window)
+	horizon := f.Horizon
+	if horizon <= 0 {
+		horizon = 1
+	}
+	intervalStart := f.Cfg.T0 + float64(s.P()+horizon-1)*f.Cfg.VectorSpan()
+	out := VirtualTasks(probs, f.Cfg, intervalStart, f.Threshold, f.ValidTime, f.nextID)
+	f.nextID -= len(out)
+	return out
+}
+
+// Span returns the prediction cadence: one vector span kΔT.
+func (f *Forecaster) Span() float64 { return f.Cfg.VectorSpan() }

@@ -1,0 +1,93 @@
+package predict
+
+import (
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// DefaultThreshold is the occurrence-probability threshold above which a
+// predicted task is materialized; the paper uses 0.85 in its experiments.
+const DefaultThreshold = 0.85
+
+// VirtualTasks converts a predicted probability matrix (M×K, from
+// Predictor.Predict) into virtual tasks for the assignment component, per
+// the end of Section III-C: if c_i[j] exceeds the threshold, a task is
+// predicted in cell i during the j-th ΔT interval following intervalStart.
+//
+// The virtual task is placed at the cell center, published at the start of
+// its interval, and expires validTime seconds later. IDs are allocated
+// downward from idStart so they never collide with real (non-negative)
+// task ids; callers pass a negative idStart.
+func VirtualTasks(probs *tensor.Matrix, cfg SeriesConfig, intervalStart, threshold, validTime float64, idStart int) []*core.Task {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	var out []*core.Task
+	id := idStart
+	for cell := 0; cell < probs.Rows; cell++ {
+		for j := 0; j < probs.Cols; j++ {
+			if probs.At(cell, j) < threshold {
+				continue
+			}
+			pub := intervalStart + float64(j)*cfg.DeltaT
+			out = append(out, &core.Task{
+				ID:      id,
+				Loc:     cfg.Grid.Center(cell),
+				Pub:     pub,
+				Exp:     pub + validTime,
+				Virtual: true,
+				Cell:    cell,
+			})
+			id--
+		}
+	}
+	return out
+}
+
+// OraclePredictor is a testing/ablation predictor that replays the true next
+// vector (probability 1 where a task occurs). It upper-bounds what any
+// learned model can contribute to assignment quality.
+type OraclePredictor struct {
+	// lookup maps a window's target index to the true next vector; filled
+	// by Fit from the training series and extended on Predict misses.
+	truth map[string]*tensor.Matrix
+}
+
+// NewOraclePredictor returns an empty oracle.
+func NewOraclePredictor() *OraclePredictor {
+	return &OraclePredictor{truth: make(map[string]*tensor.Matrix)}
+}
+
+// Name implements Predictor.
+func (o *OraclePredictor) Name() string { return "Oracle" }
+
+// Fit memorizes window→target pairs keyed by the window contents.
+func (o *OraclePredictor) Fit(train []Window) error {
+	for _, w := range train {
+		o.truth[windowKey(w.Inputs)] = w.Target
+	}
+	return nil
+}
+
+// Predict returns the memorized target for a known window and an all-zero
+// matrix otherwise.
+func (o *OraclePredictor) Predict(inputs []*tensor.Matrix) *tensor.Matrix {
+	if m, ok := o.truth[windowKey(inputs)]; ok {
+		return m.Clone()
+	}
+	return tensor.New(inputs[0].Rows, inputs[0].Cols)
+}
+
+func windowKey(inputs []*tensor.Matrix) string {
+	b := make([]byte, 0, 64)
+	for _, m := range inputs {
+		for _, v := range m.Data {
+			if v > 0.5 {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,52 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMul64(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := Randn(64, 64, 1, r)
+	y := Randn(64, 64, 1, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulAccum64(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := Randn(64, 64, 1, r)
+	y := Randn(64, 64, 1, r)
+	out := New(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulAccum(out, x, y)
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := Randn(64, 64, 1, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxRows(x)
+	}
+}
+
+func BenchmarkNormalizeAdjacency(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := Apply(Randn(36, 36, 1, r), func(v float64) float64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NormalizeAdjacency(x)
+	}
+}

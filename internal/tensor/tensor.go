@@ -1,0 +1,297 @@
+// Package tensor provides the dense matrix kernel underlying the neural
+// networks in this repository. It is deliberately small: row-major float64
+// matrices with the handful of operations the prediction models need.
+// Everything is deterministic given a seeded *rand.Rand.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero matrix of the given shape.
+// It panics on non-positive dimensions: shapes are static program structure.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols, row-major) in a matrix, copying it.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	m := New(rows, cols)
+	copy(m.Data, data)
+	return m
+}
+
+// Randn fills a new rows×cols matrix with N(0, std²) samples from r.
+func Randn(rows, cols int, std float64, r *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64() * std
+	}
+	return m
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	return FromSlice(m.Rows, m.Cols, m.Data)
+}
+
+// Zero sets every element of m to zero, in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// SameShape reports whether a and b have identical dimensions.
+func SameShape(a, b *Matrix) bool { return a.Rows == b.Rows && a.Cols == b.Cols }
+
+func mustSameShape(op string, a, b *Matrix) {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// MatMul returns a·b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulAccum computes out += a·b in place; out must be a.Rows × b.Cols.
+func MatMulAccum(out, a, b *Matrix) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic("tensor: MatMulAccum shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose returns aᵀ.
+func Transpose(a *Matrix) *Matrix {
+	out := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	return out
+}
+
+// Add returns a + b.
+func Add(a, b *Matrix) *Matrix {
+	mustSameShape("add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace computes a += b.
+func AddInPlace(a, b *Matrix) {
+	mustSameShape("add", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// Sub returns a − b.
+func Sub(a, b *Matrix) *Matrix {
+	mustSameShape("sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product a ⊙ b.
+func Hadamard(a, b *Matrix) *Matrix {
+	mustSameShape("hadamard", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns k·a.
+func Scale(a *Matrix, k float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = k * a.Data[i]
+	}
+	return out
+}
+
+// AddRowVector returns a + 1·vᵀ, broadcasting the 1×Cols row vector v over
+// every row of a (bias addition).
+func AddRowVector(a, v *Matrix) *Matrix {
+	if v.Rows != 1 || v.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector wants 1x%d, got %dx%d", a.Cols, v.Rows, v.Cols))
+	}
+	out := New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[i*a.Cols+j] = a.Data[i*a.Cols+j] + v.Data[j]
+		}
+	}
+	return out
+}
+
+// Apply returns f applied element-wise to a.
+func Apply(a *Matrix, f func(float64) float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// SoftmaxRows returns the row-wise softmax of a, numerically stabilized.
+func SoftmaxRows(a *Matrix) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*a.Cols : (i+1)*a.Cols]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements of a.
+func Sum(a *Matrix) float64 {
+	s := 0.0
+	for _, v := range a.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean of all elements of a.
+func Mean(a *Matrix) float64 { return Sum(a) / float64(len(a.Data)) }
+
+// MaxAbs returns the largest absolute element of a.
+func MaxAbs(a *Matrix) float64 {
+	m := 0.0
+	for _, v := range a.Data {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+// Row returns a view-free copy of row i as a 1×Cols matrix.
+func (m *Matrix) Row(i int) *Matrix {
+	out := New(1, m.Cols)
+	copy(out.Data, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return out
+}
+
+// SetRow copies the 1×Cols matrix v into row i of m.
+func (m *Matrix) SetRow(i int, v *Matrix) {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic("tensor: SetRow shape mismatch")
+	}
+	copy(m.Data[i*m.Cols:(i+1)*m.Cols], v.Data)
+}
+
+// NormalizeAdjacency returns D^{-1/2}(A+I)D^{-1/2}, the symmetric degree
+// normalization used by APPNP (Eqs. 8–9 of the paper), where
+// D_ii = 1 + Σ_j A_ij.
+func NormalizeAdjacency(a *Matrix) *Matrix {
+	if a.Rows != a.Cols {
+		panic("tensor: NormalizeAdjacency wants a square matrix")
+	}
+	n := a.Rows
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 1.0 // the +I self loop
+		for j := 0; j < n; j++ {
+			s += a.At(i, j)
+		}
+		deg[i] = 1 / math.Sqrt(s)
+	}
+	out := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := a.At(i, j)
+			if i == j {
+				v++
+			}
+			out.Set(i, j, deg[i]*v*deg[j])
+		}
+	}
+	return out
+}

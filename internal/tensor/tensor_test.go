@@ -1,0 +1,295 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b *Matrix, tol float64) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At = %v", m.At(1, 2))
+	}
+	if m.At(0, 0) != 0 {
+		t.Error("fresh matrix should be zero")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Error("Clone must not alias")
+	}
+	m.Zero()
+	if m.At(1, 2) != 0 {
+		t.Error("Zero should clear")
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	src := []float64{1, 2, 3, 4}
+	m := FromSlice(2, 2, src)
+	src[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Error("FromSlice must copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromSlice with wrong length should panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1})
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !approxEq(got, want, 1e-12) {
+		t.Errorf("MatMul = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := Randn(4, 4, 1, r)
+	if !approxEq(MatMul(a, Eye(4)), a, 1e-12) {
+		t.Error("A·I != A")
+	}
+	if !approxEq(MatMul(Eye(4), a), a, 1e-12) {
+		t.Error("I·A != A")
+	}
+}
+
+func TestMatMulAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := Randn(3, 4, 1, r), Randn(4, 2, 1, r), Randn(2, 5, 1, r)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return approxEq(left, right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulAccum(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 0, 0, 1})
+	b := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	out := b.Clone()
+	MatMulAccum(out, a, b) // out = b + I·b = 2b
+	if !approxEq(out, Scale(b, 2), 1e-12) {
+		t.Errorf("MatMulAccum = %v", out.Data)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Randn(3, 5, 1, r)
+		return approxEq(Transpose(Transpose(a)), a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeMatMulIdentity(t *testing.T) {
+	// (AB)ᵀ = BᵀAᵀ
+	r := rand.New(rand.NewSource(3))
+	a, b := Randn(3, 4, 1, r), Randn(4, 2, 1, r)
+	if !approxEq(Transpose(MatMul(a, b)), MatMul(Transpose(b), Transpose(a)), 1e-9) {
+		t.Error("(AB)^T != B^T A^T")
+	}
+}
+
+func TestAddSubScaleHadamard(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	if !approxEq(Add(a, b), FromSlice(2, 2, []float64{6, 8, 10, 12}), 0) {
+		t.Error("Add wrong")
+	}
+	if !approxEq(Sub(b, a), FromSlice(2, 2, []float64{4, 4, 4, 4}), 0) {
+		t.Error("Sub wrong")
+	}
+	if !approxEq(Scale(a, 2), FromSlice(2, 2, []float64{2, 4, 6, 8}), 0) {
+		t.Error("Scale wrong")
+	}
+	if !approxEq(Hadamard(a, b), FromSlice(2, 2, []float64{5, 12, 21, 32}), 0) {
+		t.Error("Hadamard wrong")
+	}
+	c := a.Clone()
+	AddInPlace(c, b)
+	if !approxEq(c, Add(a, b), 0) {
+		t.Error("AddInPlace wrong")
+	}
+}
+
+func TestAddRowVector(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	v := FromSlice(1, 3, []float64{10, 20, 30})
+	got := AddRowVector(a, v)
+	want := FromSlice(2, 3, []float64{11, 22, 33, 14, 25, 36})
+	if !approxEq(got, want, 0) {
+		t.Errorf("AddRowVector = %v", got.Data)
+	}
+}
+
+func TestApply(t *testing.T) {
+	a := FromSlice(1, 3, []float64{-1, 0, 2})
+	got := Apply(a, func(v float64) float64 { return v * v })
+	if !approxEq(got, FromSlice(1, 3, []float64{1, 0, 4}), 0) {
+		t.Errorf("Apply = %v", got.Data)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	a := FromSlice(2, 3, []float64{0, 0, 0, 1, 2, 3})
+	s := SoftmaxRows(a)
+	// Row 0: uniform.
+	for j := 0; j < 3; j++ {
+		if math.Abs(s.At(0, j)-1.0/3) > 1e-12 {
+			t.Errorf("uniform softmax wrong: %v", s.At(0, j))
+		}
+	}
+	// Rows sum to one, values increasing with logits.
+	sum := s.At(1, 0) + s.At(1, 1) + s.At(1, 2)
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("row sum = %v", sum)
+	}
+	if !(s.At(1, 0) < s.At(1, 1) && s.At(1, 1) < s.At(1, 2)) {
+		t.Error("softmax not monotone in logits")
+	}
+}
+
+func TestSoftmaxRowsStability(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1000, 1001})
+	s := SoftmaxRows(a)
+	if math.IsNaN(s.At(0, 0)) || math.IsNaN(s.At(0, 1)) {
+		t.Fatal("softmax overflowed")
+	}
+	if math.Abs(s.At(0, 0)+s.At(0, 1)-1) > 1e-12 {
+		t.Error("softmax of large logits does not sum to 1")
+	}
+}
+
+func TestSoftmaxRowsSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Randn(4, 6, 3, r)
+		s := SoftmaxRows(a)
+		for i := 0; i < s.Rows; i++ {
+			sum := 0.0
+			for j := 0; j < s.Cols; j++ {
+				v := s.At(i, j)
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumMeanMaxAbs(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, -5, 2, 2})
+	if Sum(a) != 0 {
+		t.Errorf("Sum = %v", Sum(a))
+	}
+	if Mean(a) != 0 {
+		t.Errorf("Mean = %v", Mean(a))
+	}
+	if MaxAbs(a) != 5 {
+		t.Errorf("MaxAbs = %v", MaxAbs(a))
+	}
+}
+
+func TestRowSetRow(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	r := a.Row(1)
+	if !approxEq(r, FromSlice(1, 3, []float64{4, 5, 6}), 0) {
+		t.Errorf("Row = %v", r.Data)
+	}
+	r.Set(0, 0, 99)
+	if a.At(1, 0) != 4 {
+		t.Error("Row must copy, not alias")
+	}
+	a.SetRow(0, FromSlice(1, 3, []float64{7, 8, 9}))
+	if a.At(0, 2) != 9 {
+		t.Error("SetRow failed")
+	}
+}
+
+func TestNormalizeAdjacency(t *testing.T) {
+	// Zero adjacency: Â = D^{-1/2} I D^{-1/2} = I (degrees are all 1).
+	a := New(3, 3)
+	got := NormalizeAdjacency(a)
+	if !approxEq(got, Eye(3), 1e-12) {
+		t.Errorf("normalize(0) = %v", got.Data)
+	}
+	// Symmetric input stays symmetric, and rows of a row-stochastic-ish
+	// matrix stay bounded.
+	b := FromSlice(2, 2, []float64{0, 1, 1, 0})
+	nb := NormalizeAdjacency(b)
+	if math.Abs(nb.At(0, 1)-nb.At(1, 0)) > 1e-12 {
+		t.Error("normalized symmetric matrix should be symmetric")
+	}
+	if nb.At(0, 0) <= 0 || nb.At(0, 0) > 1 {
+		t.Errorf("diagonal out of range: %v", nb.At(0, 0))
+	}
+}
+
+func TestShapePanics(t *testing.T) {
+	a, b := New(2, 2), New(3, 3)
+	cases := []func(){
+		func() { New(0, 1) },
+		func() { MatMul(a, b) },
+		func() { Add(a, b) },
+		func() { Sub(a, b) },
+		func() { Hadamard(a, b) },
+		func() { AddRowVector(a, New(2, 2)) },
+		func() { NormalizeAdjacency(New(2, 3)) },
+		func() { a.SetRow(0, New(1, 3)) },
+		func() { MatMulAccum(New(2, 2), a, b) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandnDeterministic(t *testing.T) {
+	a := Randn(3, 3, 1, rand.New(rand.NewSource(42)))
+	b := Randn(3, 3, 1, rand.New(rand.NewSource(42)))
+	if !approxEq(a, b, 0) {
+		t.Error("Randn with the same seed must be deterministic")
+	}
+}

@@ -1,0 +1,248 @@
+// Package tvf implements the Task Value Function of Section IV-B: a learned
+// state-action value TVF(s_t, a_t; θ) trained by Q-learning-style regression
+// (Eq. 12) on (state, action, opt) samples gathered by the exact DFSearch
+// (Algorithm 1). At assignment time, DFSearch_TVF (Algorithm 2) picks the
+// sequence maximizing the predicted value, eliminating backtracking.
+//
+// The state is the set of remaining workers and tasks; the action is a
+// (worker, sequence) pair. Both are summarized by a fixed-length feature
+// vector; the value model is a small two-layer perceptron.
+package tvf
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// FeatureDim is the length of the feature vector produced by Featurize.
+const FeatureDim = 12
+
+// State is the RL state s_t: the remaining available workers and unassigned
+// tasks at a search node (the paper's (W_N + W_C, S)).
+type State struct {
+	Workers []*core.Worker
+	Tasks   []*core.Task
+	Now     float64
+}
+
+// Action is the RL action a_t: assigning sequence Seq to Worker.
+type Action struct {
+	Worker *core.Worker
+	Seq    core.Sequence
+}
+
+// Sample is one training triple (s_t, a_t, opt) emitted by DFSearch.
+type Sample struct {
+	Features [FeatureDim]float64
+	// Opt is the best cumulative number of assigned tasks achievable from
+	// this state after taking the action (the regression target V).
+	Opt float64
+}
+
+// Featurize summarizes a state-action pair. Features are scaled to keep
+// magnitudes near [0, 1] so one learning rate fits all dimensions:
+//
+//	0  bias
+//	1  |q| — immediate reward of the action
+//	2  remaining worker count (÷16)
+//	3  remaining task count (÷32)
+//	4  sequence completion slack within the worker's window
+//	5  total travel time of the sequence (÷600 s)
+//	6  tasks still reachable from the sequence's end location (÷16)
+//	7  contention: other workers that can reach a task of q (÷16)
+//	8  mean expiry slack of q's tasks (÷300 s)
+//	9  fraction of q that is virtual (predicted demand)
+//	10 task density within 0.5 km of the end location (÷16)
+//	11 remaining availability of the worker after q (÷3600 s)
+func Featurize(st State, a Action, tm geo.TravelModel) [FeatureDim]float64 {
+	var f [FeatureDim]float64
+	f[0] = 1
+	f[1] = float64(len(a.Seq))
+	f[2] = float64(len(st.Workers)) / 16
+	f[3] = float64(len(st.Tasks)) / 32
+
+	w := a.Worker
+	end := w.Loc
+	completion := st.Now
+	travel := 0.0
+	expSlack := 0.0
+	virtual := 0
+	loc, t := w.Loc, st.Now
+	for _, s := range a.Seq {
+		leg := tm.Time(loc, s.Loc)
+		travel += leg
+		t += leg
+		if t < s.Pub {
+			t = s.Pub
+		}
+		expSlack += s.Exp - t
+		if s.Virtual {
+			virtual++
+		}
+		loc = s.Loc
+	}
+	completion = t
+	end = loc
+
+	if win := w.Off - st.Now; win > 0 {
+		f[4] = (w.Off - completion) / win
+	}
+	f[5] = travel / 600
+
+	reachable, near := 0, 0
+	for _, s := range st.Tasks {
+		d := geo.Dist(end, s.Loc)
+		if d <= w.Reach && s.Exp > completion+tm.TimeForDist(d) {
+			reachable++
+		}
+		if d <= 0.5 {
+			near++
+		}
+	}
+	f[6] = float64(reachable) / 16
+
+	contention := 0
+	for _, other := range st.Workers {
+		if other.ID == w.ID {
+			continue
+		}
+		for _, s := range a.Seq {
+			if geo.Dist(other.Loc, s.Loc) <= other.Reach {
+				contention++
+				break
+			}
+		}
+	}
+	f[7] = float64(contention) / 16
+
+	if n := len(a.Seq); n > 0 {
+		f[8] = expSlack / float64(n) / 300
+		f[9] = float64(virtual) / float64(n)
+	}
+	f[10] = float64(near) / 16
+	f[11] = math.Max(0, w.Off-completion) / 3600
+	return f
+}
+
+// Model is the TVF approximator: a two-layer MLP with tanh hidden units and
+// a linear scalar output.
+type Model struct {
+	params *nn.Params
+	l1, l2 *nn.Linear
+}
+
+// NewModel allocates a TVF model with the given hidden width.
+func NewModel(hidden int, seed int64) *Model {
+	if hidden <= 0 {
+		hidden = 16
+	}
+	p := nn.NewParams(seed + 404)
+	return &Model{
+		params: p,
+		l1:     nn.NewLinear(p, FeatureDim, hidden),
+		l2:     nn.NewLinear(p, hidden, 1),
+	}
+}
+
+func (m *Model) forward(x *nn.Node) *nn.Node {
+	return m.l2.Forward(nn.Tanh(m.l1.Forward(x)))
+}
+
+// Predict returns TVF(s_t, a_t; θ) for one featurized pair.
+func (m *Model) Predict(features [FeatureDim]float64) float64 {
+	x := tensor.FromSlice(1, FeatureDim, features[:])
+	return m.forward(nn.Leaf(x)).Val.Data[0]
+}
+
+// PredictBatch scores many feature vectors in one forward pass.
+func (m *Model) PredictBatch(features [][FeatureDim]float64) []float64 {
+	if len(features) == 0 {
+		return nil
+	}
+	x := tensor.New(len(features), FeatureDim)
+	for i, f := range features {
+		copy(x.Data[i*FeatureDim:(i+1)*FeatureDim], f[:])
+	}
+	out := m.forward(nn.Leaf(x)).Val
+	res := make([]float64, len(features))
+	copy(res, out.Data)
+	return res
+}
+
+// Value is a convenience wrapper: featurize then predict.
+func (m *Model) Value(st State, a Action, tm geo.TravelModel) float64 {
+	return m.Predict(Featurize(st, a, tm))
+}
+
+// TrainConfig controls TVF fitting.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Seed      int64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 40
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+	return c
+}
+
+// Train fits the model to the samples by minimizing the squared loss of
+// Eq. 12 over mini-batches drawn uniformly at random from U (the stored
+// experience), exactly the paper's update rule. It returns the final
+// epoch's mean loss.
+func (m *Model) Train(samples []Sample, cfg TrainConfig) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 505))
+	opt := nn.NewAdam(cfg.LR)
+	lastLoss := 0.0
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss, batches := 0.0, 0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			x := tensor.New(len(batch), FeatureDim)
+			y := tensor.New(len(batch), 1)
+			for bi, si := range batch {
+				copy(x.Data[bi*FeatureDim:(bi+1)*FeatureDim], samples[si].Features[:])
+				y.Data[bi] = samples[si].Opt
+			}
+			m.params.ZeroGrads()
+			loss := nn.MSE(m.forward(nn.Leaf(x)), y)
+			nn.Backward(loss)
+			nn.ClipGrads(m.params.All(), 5)
+			opt.Step(m.params.All())
+			epochLoss += loss.Val.Data[0]
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+	}
+	return lastLoss
+}
+
+// ParamCount returns the number of trainable scalars.
+func (m *Model) ParamCount() int { return m.params.Count() }

@@ -1,0 +1,208 @@
+package tvf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+var tm = geo.NewTravelModel(0.01)
+
+func task(id int, x, y, pub, exp float64) *core.Task {
+	return &core.Task{ID: id, Loc: geo.Point{X: x, Y: y}, Pub: pub, Exp: exp, Cell: -1}
+}
+
+func worker(id int, x, y, reach, on, off float64) *core.Worker {
+	return &core.Worker{ID: id, Loc: geo.Point{X: x, Y: y}, Reach: reach, On: on, Off: off}
+}
+
+func simpleState() State {
+	return State{
+		Workers: []*core.Worker{worker(1, 0, 0, 1, 0, 1000), worker(2, 0.2, 0, 1, 0, 1000)},
+		Tasks:   []*core.Task{task(1, 0.1, 0, 0, 500), task(2, 0.3, 0, 0, 500), task(3, 5, 5, 0, 500)},
+		Now:     0,
+	}
+}
+
+func TestFeaturizeShapeAndBias(t *testing.T) {
+	st := simpleState()
+	a := Action{Worker: st.Workers[0], Seq: core.Sequence{st.Tasks[0]}}
+	f := Featurize(st, a, tm)
+	if f[0] != 1 {
+		t.Error("bias feature must be 1")
+	}
+	if f[1] != 1 {
+		t.Errorf("|q| feature = %v", f[1])
+	}
+	for i, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("feature %d is %v", i, v)
+		}
+	}
+}
+
+func TestFeaturizeEmptySequence(t *testing.T) {
+	st := simpleState()
+	a := Action{Worker: st.Workers[0], Seq: nil}
+	f := Featurize(st, a, tm)
+	if f[1] != 0 {
+		t.Error("|q| of empty action should be 0")
+	}
+	if f[4] != 1 {
+		t.Errorf("empty action keeps full slack, got %v", f[4])
+	}
+	if f[9] != 0 {
+		t.Error("virtual fraction of empty action should be 0")
+	}
+}
+
+func TestFeaturizeLongerSequenceLargerReward(t *testing.T) {
+	st := simpleState()
+	one := Featurize(st, Action{st.Workers[0], core.Sequence{st.Tasks[0]}}, tm)
+	two := Featurize(st, Action{st.Workers[0], core.Sequence{st.Tasks[0], st.Tasks[1]}}, tm)
+	if two[1] <= one[1] {
+		t.Error("length feature must grow with |q|")
+	}
+	if two[5] <= one[5] {
+		t.Error("travel feature must grow with longer routes")
+	}
+}
+
+func TestFeaturizeVirtualFraction(t *testing.T) {
+	st := simpleState()
+	v := task(9, 0.15, 0, 0, 500)
+	v.Virtual = true
+	f := Featurize(st, Action{st.Workers[0], core.Sequence{st.Tasks[0], v}}, tm)
+	if f[9] != 0.5 {
+		t.Errorf("virtual fraction = %v, want 0.5", f[9])
+	}
+}
+
+func TestFeaturizeContention(t *testing.T) {
+	st := simpleState()
+	// Task 1 at 0.1 is reachable by both workers: contention = 1 (the
+	// other worker).
+	f := Featurize(st, Action{st.Workers[0], core.Sequence{st.Tasks[0]}}, tm)
+	if f[7] != 1.0/16 {
+		t.Errorf("contention = %v, want 1/16", f[7])
+	}
+	// A far-away task only its own worker can reach → zero contention.
+	far := Action{st.Workers[0], core.Sequence{st.Tasks[2]}}
+	if g := Featurize(st, far, tm); g[7] != 0 {
+		t.Errorf("far contention = %v", g[7])
+	}
+}
+
+func TestFeaturizeWaitsForPublication(t *testing.T) {
+	st := simpleState()
+	future := task(9, 0.1, 300, 0, 500)
+	future.Pub = 300
+	f := Featurize(st, Action{st.Workers[0], core.Sequence{future}}, tm)
+	// Completion is >= 300, so remaining availability is at most 700.
+	if f[11] > 700.0/3600+1e-9 {
+		t.Errorf("remaining availability = %v, should respect waiting", f[11])
+	}
+}
+
+func TestModelPredictDeterministic(t *testing.T) {
+	st := simpleState()
+	a := Action{st.Workers[0], core.Sequence{st.Tasks[0]}}
+	m1 := NewModel(8, 7)
+	m2 := NewModel(8, 7)
+	if m1.Value(st, a, tm) != m2.Value(st, a, tm) {
+		t.Error("same seed must give identical models")
+	}
+}
+
+func TestPredictBatchMatchesSingle(t *testing.T) {
+	m := NewModel(8, 3)
+	st := simpleState()
+	feats := [][FeatureDim]float64{
+		Featurize(st, Action{st.Workers[0], core.Sequence{st.Tasks[0]}}, tm),
+		Featurize(st, Action{st.Workers[1], core.Sequence{st.Tasks[1]}}, tm),
+	}
+	batch := m.PredictBatch(feats)
+	for i, f := range feats {
+		if math.Abs(batch[i]-m.Predict(f)) > 1e-12 {
+			t.Errorf("batch[%d] = %v, single = %v", i, batch[i], m.Predict(f))
+		}
+	}
+	if m.PredictBatch(nil) != nil {
+		t.Error("empty batch should return nil")
+	}
+}
+
+func TestTrainFitsValueFunction(t *testing.T) {
+	// Synthetic ground truth: opt = 3·|q| + reachable-after. The model
+	// must learn to rank longer sequences higher.
+	r := rand.New(rand.NewSource(21))
+	var samples []Sample
+	for i := 0; i < 400; i++ {
+		var f [FeatureDim]float64
+		f[0] = 1
+		f[1] = float64(r.Intn(4))
+		f[6] = r.Float64()
+		f[3] = r.Float64()
+		samples = append(samples, Sample{Features: f, Opt: 3*f[1] + 2*f[6]})
+	}
+	m := NewModel(16, 22)
+	loss := m.Train(samples, TrainConfig{Epochs: 60, LR: 0.02, Seed: 22})
+	if loss > 0.3 {
+		t.Errorf("final training loss = %v, want < 0.3", loss)
+	}
+	// Ranking check.
+	var short, long [FeatureDim]float64
+	short[0], short[1], short[6] = 1, 1, 0.5
+	long[0], long[1], long[6] = 1, 3, 0.5
+	if m.Predict(long) <= m.Predict(short) {
+		t.Error("trained TVF must rank longer sequences above shorter ones")
+	}
+}
+
+func TestTrainEmptySamples(t *testing.T) {
+	m := NewModel(8, 23)
+	if loss := m.Train(nil, TrainConfig{}); loss != 0 {
+		t.Errorf("training on no samples should be a no-op, loss=%v", loss)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 50; i++ {
+		var f [FeatureDim]float64
+		f[0], f[1] = 1, float64(i%4)
+		samples = append(samples, Sample{Features: f, Opt: f[1]})
+	}
+	run := func() float64 {
+		m := NewModel(8, 29)
+		m.Train(samples, TrainConfig{Epochs: 10, Seed: 29})
+		var probe [FeatureDim]float64
+		probe[0], probe[1] = 1, 2
+		return m.Predict(probe)
+	}
+	if run() != run() {
+		t.Error("training must be deterministic for a fixed seed")
+	}
+}
+
+func TestModelParamCount(t *testing.T) {
+	m := NewModel(16, 31)
+	want := (FeatureDim*16 + 16) + (16 + 1)
+	if m.ParamCount() != want {
+		t.Errorf("ParamCount = %d, want %d", m.ParamCount(), want)
+	}
+	// Hidden default kicks in.
+	if NewModel(0, 31).ParamCount() == 0 {
+		t.Error("default hidden width missing")
+	}
+}
+
+func TestTrainConfigDefaults(t *testing.T) {
+	c := TrainConfig{}.withDefaults()
+	if c.Epochs <= 0 || c.BatchSize <= 0 || c.LR <= 0 {
+		t.Errorf("defaults missing: %+v", c)
+	}
+}

@@ -1,0 +1,63 @@
+package wds
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+func benchInstance(nWorkers, nTasks int) ([]*core.Worker, []*core.Task) {
+	r := rand.New(rand.NewSource(9))
+	var ws []*core.Worker
+	for i := 0; i < nWorkers; i++ {
+		ws = append(ws, &core.Worker{
+			ID: i + 1, Loc: geo.Point{X: r.Float64() * 4, Y: r.Float64() * 4},
+			Reach: 1, On: 0, Off: 1e5,
+		})
+	}
+	var ts []*core.Task
+	for i := 0; i < nTasks; i++ {
+		ts = append(ts, &core.Task{
+			ID: i + 1, Loc: geo.Point{X: r.Float64() * 4, Y: r.Float64() * 4},
+			Pub: 0, Exp: 500, Cell: -1,
+		})
+	}
+	return ws, ts
+}
+
+// BenchmarkSeparate measures the full WDS pipeline (reachable sets, maximal
+// valid sequences, dependency graph, MCS partition, RTC trees) at a typical
+// planning-instant size.
+func BenchmarkSeparate(b *testing.B) {
+	ws, ts := benchInstance(40, 80)
+	o := Options{Travel: geo.NewTravelModel(0.005)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Separate(ws, ts, 0, o)
+	}
+}
+
+// BenchmarkMaximalValidSequences measures Q_w generation for one worker with
+// a full reachable set.
+func BenchmarkMaximalValidSequences(b *testing.B) {
+	ws, ts := benchInstance(1, 40)
+	o := Options{Travel: geo.NewTravelModel(0.005)}.WithDefaults()
+	rs := ReachableTasks(ws[0], ts, 0, o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaximalValidSequences(ws[0], rs, 0, o)
+	}
+}
+
+// BenchmarkReachableTasks measures constraint filtering over a task pool.
+func BenchmarkReachableTasks(b *testing.B) {
+	ws, ts := benchInstance(1, 200)
+	o := Options{Travel: geo.NewTravelModel(0.005)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReachableTasks(ws[0], ts, 0, o)
+	}
+}

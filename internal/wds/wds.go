@@ -1,0 +1,326 @@
+// Package wds implements Worker Dependency Separation (Section IV-A of the
+// DATA-WA paper): finding each worker's reachable tasks, generating maximal
+// valid task sequences (Eq. 10), constructing the Worker Dependency Graph,
+// partitioning it into maximal cliques with Maximum Cardinality Search, and
+// organizing the cliques into a Recursive Tree Construction (RTC) tree whose
+// sibling subtrees are independent — the property that lets the assignment
+// search solve each subtree separately.
+package wds
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/graphutil"
+)
+
+// Options bounds the search effort. Zero values take defaults chosen so a
+// planning instant on city-scale data stays interactive on one core.
+type Options struct {
+	// Travel converts distance to time.
+	Travel geo.TravelModel
+	// MaxSeqLen caps the length of generated task sequences (default 3).
+	MaxSeqLen int
+	// MaxReachable caps the reachable set per worker to the nearest tasks
+	// (default 8); the dependency graph still uses the uncapped sets.
+	MaxReachable int
+	// MaxSequences caps |Q_w| per worker after dedup (default 128).
+	MaxSequences int
+}
+
+// WithDefaults returns o with zero fields replaced by defaults.
+func (o Options) WithDefaults() Options {
+	if o.Travel.Speed <= 0 {
+		o.Travel = geo.NewTravelModel(0)
+	}
+	if o.MaxSeqLen <= 0 {
+		o.MaxSeqLen = 3
+	}
+	if o.MaxReachable <= 0 {
+		o.MaxReachable = 8
+	}
+	if o.MaxSequences <= 0 {
+		o.MaxSequences = 128
+	}
+	return o
+}
+
+// ReachableTasks returns RS_w, the subset of tasks worker w can serve within
+// its availability window starting at time now (Section IV-A.1):
+//
+//	(i)   c(w.l, s.l) ≤ s.e − t_now  — reachable before expiration,
+//	(ii)  c(w.l, s.l) ≤ T_w          — completable within the window,
+//	(iii) td(w.l, s.l) ≤ w.d         — within reachable distance.
+//
+// The result is sorted by distance (ties by id) and capped at
+// o.MaxReachable entries.
+func ReachableTasks(w *core.Worker, tasks []*core.Task, now float64, o Options) []*core.Task {
+	o = o.WithDefaults()
+	if !w.Available(now) {
+		return nil
+	}
+	window := w.Off - now
+	type cand struct {
+		t *core.Task
+		d float64
+	}
+	var cands []cand
+	for _, s := range tasks {
+		if s.Exp <= now {
+			continue
+		}
+		d := geo.Dist(w.Loc, s.Loc)
+		travel := o.Travel.TimeForDist(d)
+		if travel > s.Exp-now {
+			continue // (i)
+		}
+		if travel > window {
+			continue // (ii)
+		}
+		if d > w.Reach {
+			continue // (iii)
+		}
+		cands = append(cands, cand{s, d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].t.ID < cands[j].t.ID
+	})
+	if len(cands) > o.MaxReachable {
+		cands = cands[:o.MaxReachable]
+	}
+	out := make([]*core.Task, len(cands))
+	for i, c := range cands {
+		out[i] = c.t
+	}
+	return out
+}
+
+// MaximalValidSequences computes Q_w: for every subset of the reachable set
+// RS_w (up to o.MaxSeqLen tasks) that admits a valid ordering, the ordering
+// with minimal completion time (Eq. 10). Sequences are returned longest
+// first, then by completion time, then lexicographically by ids, and the
+// list is capped at o.MaxSequences.
+//
+// The search extends sequences task by task and prunes as soon as an
+// extension violates Definition 4, which is sound because validity is
+// prefix-closed.
+func MaximalValidSequences(w *core.Worker, rs []*core.Task, now float64, o Options) []core.Sequence {
+	o = o.WithDefaults()
+	type best struct {
+		seq        core.Sequence
+		completion float64
+	}
+	bests := make(map[string]best)
+
+	var cur core.Sequence
+	used := make([]bool, len(rs))
+
+	var extend func(loc geo.Point, t float64)
+	extend = func(loc geo.Point, t float64) {
+		if len(cur) > 0 {
+			key := cur.SetKey()
+			if b, ok := bests[key]; !ok || t < b.completion {
+				bests[key] = best{seq: cur.Clone(), completion: t}
+			}
+		}
+		if len(cur) >= o.MaxSeqLen {
+			return
+		}
+		for i, s := range rs {
+			if used[i] {
+				continue
+			}
+			arrive := t + o.Travel.Time(loc, s.Loc)
+			if arrive < s.Pub {
+				arrive = s.Pub
+			}
+			if arrive >= s.Exp || arrive >= w.Off {
+				continue
+			}
+			if geo.Dist(w.Loc, s.Loc) > w.Reach {
+				continue
+			}
+			used[i] = true
+			cur = append(cur, s)
+			extend(s.Loc, arrive)
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	extend(w.Loc, now)
+
+	out := make([]core.Sequence, 0, len(bests))
+	completions := make(map[string]float64, len(bests))
+	for key, b := range bests {
+		out = append(out, b.seq)
+		completions[key] = b.completion
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		ci, cj := completions[out[i].SetKey()], completions[out[j].SetKey()]
+		if ci != cj {
+			return ci < cj
+		}
+		return lessIDs(out[i], out[j])
+	})
+	if len(out) > o.MaxSequences {
+		out = out[:o.MaxSequences]
+	}
+	return out
+}
+
+func lessIDs(a, b core.Sequence) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].ID != b[i].ID {
+			return a[i].ID < b[i].ID
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Separation is the full Worker Dependency Separation state for one
+// planning instant: per-worker reachable sets and candidate sequences, the
+// dependency graph, and the RTC forest (one tree per connected component).
+type Separation struct {
+	Workers   []*core.Worker
+	Reachable map[int][]*core.Task    // worker id → RS_w
+	Sequences map[int][]core.Sequence // worker id → Q_w
+	Graph     *graphutil.Graph        // vertices index Workers
+	Forest    []*TreeNode
+}
+
+// TreeNode is one node of the RTC tree. Workers holds the clique X′
+// installed at this node; Children are the trees of the components obtained
+// by removing X′. Workers in sibling subtrees are independent.
+type TreeNode struct {
+	Workers  []*core.Worker
+	Children []*TreeNode
+}
+
+// AllWorkers returns every worker in the subtree rooted at n, in
+// deterministic (pre-order, id-sorted within nodes) order.
+func (n *TreeNode) AllWorkers() []*core.Worker {
+	if n == nil {
+		return nil
+	}
+	out := append([]*core.Worker(nil), n.Workers...)
+	for _, c := range n.Children {
+		out = append(out, c.AllWorkers()...)
+	}
+	return out
+}
+
+// Size returns the number of workers in the subtree.
+func (n *TreeNode) Size() int { return len(n.AllWorkers()) }
+
+// Depth returns the height of the subtree (a single node has depth 1).
+func (n *TreeNode) Depth() int {
+	if n == nil {
+		return 0
+	}
+	d := 0
+	for _, c := range n.Children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// Separate runs the complete WDS pipeline for the given workers and tasks
+// at time now: reachable sets, maximal valid sequences, worker dependency
+// graph (workers are dependent iff they share a reachable task, Section
+// IV-A.2), MCS clique partition and RTC tree construction (IV-A.3/IV-A.4).
+func Separate(workers []*core.Worker, tasks []*core.Task, now float64, o Options) *Separation {
+	o = o.WithDefaults()
+	sep := &Separation{
+		Workers:   workers,
+		Reachable: make(map[int][]*core.Task, len(workers)),
+		Sequences: make(map[int][]core.Sequence, len(workers)),
+	}
+	for _, w := range workers {
+		rs := ReachableTasks(w, tasks, now, o)
+		sep.Reachable[w.ID] = rs
+		sep.Sequences[w.ID] = MaximalValidSequences(w, rs, now, o)
+	}
+
+	// Dependency graph: invert the reachable relation task → workers, then
+	// connect workers sharing any task. This is O(Σ|RS| + edges) instead of
+	// the paper's O(|W|²·|RS|) pairwise scan.
+	sep.Graph = graphutil.New(len(workers))
+	byTask := make(map[int][]int)
+	for idx, w := range workers {
+		for _, s := range sep.Reachable[w.ID] {
+			byTask[s.ID] = append(byTask[s.ID], idx)
+		}
+	}
+	for _, ws := range byTask {
+		for i := 0; i < len(ws); i++ {
+			for j := i + 1; j < len(ws); j++ {
+				sep.Graph.AddEdge(ws[i], ws[j])
+			}
+		}
+	}
+
+	for _, comp := range sep.Graph.Components(nil) {
+		sep.Forest = append(sep.Forest, buildTree(sep.Graph, comp, workers))
+	}
+	return sep
+}
+
+// buildTree applies the RTC algorithm (Section IV-A.4) to one connected
+// component: partition into maximal cliques via MCS on the chordal
+// completion, install the clique whose removal yields the most components
+// as the root, and recurse on each remaining component.
+func buildTree(g *graphutil.Graph, comp []int, workers []*core.Worker) *TreeNode {
+	if len(comp) == 0 {
+		return nil
+	}
+	chordal, peo := g.FillIn(comp)
+	cliques := graphutil.MaximalCliquesChordal(chordal, peo)
+
+	inComp := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+
+	// Choose X′ maximizing the number of remaining components; ties prefer
+	// the larger clique (smaller residual work), then lexicographic order.
+	bestIdx, bestComps := -1, -1
+	var bestResidual [][]int
+	for ci, clique := range cliques {
+		removed := make(map[int]bool, len(clique))
+		for _, v := range clique {
+			removed[v] = true
+		}
+		residual := g.Components(func(v int) bool { return inComp[v] && !removed[v] })
+		better := false
+		switch {
+		case len(residual) > bestComps:
+			better = true
+		case len(residual) == bestComps && bestIdx >= 0 && len(clique) > len(cliques[bestIdx]):
+			better = true
+		}
+		if bestIdx < 0 || better {
+			bestIdx, bestComps, bestResidual = ci, len(residual), residual
+		}
+	}
+
+	node := &TreeNode{}
+	for _, v := range cliques[bestIdx] {
+		node.Workers = append(node.Workers, workers[v])
+	}
+	sort.Slice(node.Workers, func(i, j int) bool { return node.Workers[i].ID < node.Workers[j].ID })
+	for _, sub := range bestResidual {
+		if child := buildTree(g, sub, workers); child != nil {
+			node.Children = append(node.Children, child)
+		}
+	}
+	return node
+}

@@ -1,0 +1,365 @@
+package wds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+var opts = Options{Travel: geo.NewTravelModel(0.01)} // 10 m/s
+
+func task(id int, x, y, pub, exp float64) *core.Task {
+	return &core.Task{ID: id, Loc: geo.Point{X: x, Y: y}, Pub: pub, Exp: exp, Cell: -1}
+}
+
+func worker(id int, x, y, reach, on, off float64) *core.Worker {
+	return &core.Worker{ID: id, Loc: geo.Point{X: x, Y: y}, Reach: reach, On: on, Off: off}
+}
+
+func TestReachableTasksConstraints(t *testing.T) {
+	w := worker(1, 0, 0, 1.0, 0, 500)
+	tasks := []*core.Task{
+		task(1, 0.5, 0, 0, 1000),  // fine: 50 s travel
+		task(2, 0.5, 0, 0, 40),    // violates (i): needs 50 s, expires in 40
+		task(3, 0, 0.9, 0, 1000),  // fine: 90 s travel, within reach 1.0
+		task(4, 2.0, 0, 0, 1000),  // violates (iii): 2 km > 1 km reach
+		task(5, 0.5, 0.5, 0, -10), // already expired
+	}
+	rs := ReachableTasks(w, tasks, 0, opts)
+	if len(rs) != 2 {
+		t.Fatalf("reachable = %d tasks, want 2", len(rs))
+	}
+	if rs[0].ID != 1 || rs[1].ID != 3 {
+		t.Errorf("reachable ids = %d,%d (sorted by distance)", rs[0].ID, rs[1].ID)
+	}
+}
+
+func TestReachableTasksWindowConstraint(t *testing.T) {
+	// Worker goes offline in 60 s: a task 1 km away (100 s) violates (ii).
+	w := worker(1, 0, 0, 5, 0, 60)
+	tasks := []*core.Task{task(1, 1, 0, 0, 1e9)}
+	if rs := ReachableTasks(w, tasks, 0, opts); len(rs) != 0 {
+		t.Errorf("task beyond availability window should be unreachable, got %d", len(rs))
+	}
+	// Same worker with a later off time reaches it.
+	w.Off = 200
+	if rs := ReachableTasks(w, tasks, 0, opts); len(rs) != 1 {
+		t.Errorf("task within window should be reachable")
+	}
+}
+
+func TestReachableTasksUnavailableWorker(t *testing.T) {
+	w := worker(1, 0, 0, 1, 100, 200)
+	tasks := []*core.Task{task(1, 0.1, 0, 0, 1e9)}
+	if rs := ReachableTasks(w, tasks, 0, opts); rs != nil {
+		t.Error("worker before its on time should reach nothing")
+	}
+	if rs := ReachableTasks(w, tasks, 250, opts); rs != nil {
+		t.Error("worker after its off time should reach nothing")
+	}
+}
+
+func TestReachableTasksCap(t *testing.T) {
+	w := worker(1, 0, 0, 5, 0, 1e9)
+	var tasks []*core.Task
+	for i := 0; i < 20; i++ {
+		tasks = append(tasks, task(i, float64(i+1)*0.01, 0, 0, 1e9))
+	}
+	o := opts
+	o.MaxReachable = 5
+	rs := ReachableTasks(w, tasks, 0, o)
+	if len(rs) != 5 {
+		t.Fatalf("capped reachable = %d", len(rs))
+	}
+	// The nearest five.
+	for i, s := range rs {
+		if s.ID != i {
+			t.Errorf("cap should keep nearest: got id %d at %d", s.ID, i)
+		}
+	}
+}
+
+func TestMaximalValidSequencesMinCompletion(t *testing.T) {
+	// Tasks at x=1 and x=2: visiting 1 then 2 takes 200 s; 2 then 1 takes
+	// 300 s. Eq. 10 keeps the 200 s ordering for the {1,2} set.
+	w := worker(1, 0, 0, 5, 0, 1e9)
+	rs := []*core.Task{task(1, 1, 0, 0, 1e9), task(2, 2, 0, 0, 1e9)}
+	qs := MaximalValidSequences(w, rs, 0, opts)
+	// Expect: the pair (longest first), then both singletons.
+	if len(qs) != 3 {
+		t.Fatalf("|Q_w| = %d, want 3", len(qs))
+	}
+	if len(qs[0]) != 2 || qs[0][0].ID != 1 || qs[0][1].ID != 2 {
+		t.Errorf("best pair order = %v", qs[0].IDs())
+	}
+	got := core.CompletionTime(w.Loc, 0, qs[0], opts.Travel)
+	if math.Abs(got-200) > 1e-9 {
+		t.Errorf("pair completion = %v, want 200", got)
+	}
+}
+
+func TestMaximalValidSequencesRespectsExpiry(t *testing.T) {
+	// Task 2 expires early, so it must be visited first even though task 1
+	// is nearer; the (1,2) ordering is invalid: 90 s to task 1 plus ~134 s
+	// across exceeds task 2's 200 s deadline.
+	w := worker(1, 0, 0, 5, 0, 1e9)
+	rs := []*core.Task{task(1, 0.9, 0, 0, 1e9), task(2, 0, 1, 0, 200)}
+	qs := MaximalValidSequences(w, rs, 0, opts)
+	for _, q := range qs {
+		if len(q) == 2 {
+			if q[0].ID != 2 {
+				t.Errorf("pair must visit the expiring task first: %v", q.IDs())
+			}
+			return
+		}
+	}
+	t.Error("expected a valid pair (2,1)")
+}
+
+func TestMaximalValidSequencesAllValid(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		w := worker(1, r.Float64(), r.Float64(), 0.5+r.Float64(), 0, 100+r.Float64()*500)
+		var rs []*core.Task
+		for i := 0; i < 5; i++ {
+			rs = append(rs, task(i, r.Float64()*2, r.Float64()*2, 0, 50+r.Float64()*500))
+		}
+		rs = ReachableTasks(w, rs, 0, opts)
+		for _, q := range MaximalValidSequences(w, rs, 0, opts) {
+			if !core.ValidSequence(w, 0, q, opts.Travel) {
+				t.Fatalf("generated invalid sequence %v", q.IDs())
+			}
+		}
+	}
+}
+
+func TestMaximalValidSequencesDedupMatchesBruteForce(t *testing.T) {
+	// For every returned set, no permutation of the same set completes
+	// earlier (Eq. 10), verified by brute force.
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		w := worker(1, r.Float64(), r.Float64(), 2, 0, 1e9)
+		var rs []*core.Task
+		for i := 0; i < 4; i++ {
+			rs = append(rs, task(i, r.Float64(), r.Float64(), 0, 100+r.Float64()*1000))
+		}
+		qs := MaximalValidSequences(w, rs, 0, opts)
+		seen := make(map[string]bool)
+		for _, q := range qs {
+			key := q.SetKey()
+			if seen[key] {
+				t.Fatal("duplicate set in Q_w")
+			}
+			seen[key] = true
+			best := core.CompletionTime(w.Loc, 0, q, opts.Travel)
+			permute(q, func(p core.Sequence) {
+				if core.ValidSequence(w, 0, p, opts.Travel) {
+					if c := core.CompletionTime(w.Loc, 0, p, opts.Travel); c < best-1e-9 {
+						t.Fatalf("found better ordering %v (%.1f < %.1f)", p.IDs(), c, best)
+					}
+				}
+			})
+		}
+	}
+}
+
+func permute(q core.Sequence, visit func(core.Sequence)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(q) {
+			visit(q)
+			return
+		}
+		for i := k; i < len(q); i++ {
+			q[k], q[i] = q[i], q[k]
+			rec(k + 1)
+			q[k], q[i] = q[i], q[k]
+		}
+	}
+	rec(0)
+}
+
+func TestMaximalValidSequencesLengthCap(t *testing.T) {
+	w := worker(1, 0, 0, 5, 0, 1e9)
+	var rs []*core.Task
+	for i := 0; i < 6; i++ {
+		rs = append(rs, task(i, 0.1*float64(i+1), 0, 0, 1e9))
+	}
+	o := opts
+	o.MaxSeqLen = 2
+	for _, q := range MaximalValidSequences(w, rs, 0, o) {
+		if len(q) > 2 {
+			t.Fatalf("sequence of length %d exceeds cap", len(q))
+		}
+	}
+	o.MaxSequences = 4
+	if got := len(MaximalValidSequences(w, rs, 0, o)); got != 4 {
+		t.Errorf("MaxSequences cap: got %d", got)
+	}
+}
+
+func TestSeparateIndependentClusters(t *testing.T) {
+	// Two pairs of workers around two distant hotspots sharing tasks only
+	// within each pair → two components, each one tree.
+	workers := []*core.Worker{
+		worker(0, 0, 0, 1, 0, 1e5),
+		worker(1, 0.1, 0, 1, 0, 1e5),
+		worker(2, 10, 10, 1, 0, 1e5),
+		worker(3, 10.1, 10, 1, 0, 1e5),
+	}
+	tasks := []*core.Task{
+		task(1, 0.05, 0, 0, 1e5),
+		task(2, 10.05, 10, 0, 1e5),
+	}
+	sep := Separate(workers, tasks, 0, opts)
+	if len(sep.Forest) != 2 {
+		t.Fatalf("forest size = %d, want 2", len(sep.Forest))
+	}
+	if !sep.Graph.HasEdge(0, 1) || !sep.Graph.HasEdge(2, 3) {
+		t.Error("workers sharing a task must be dependent")
+	}
+	if sep.Graph.HasEdge(0, 2) || sep.Graph.HasEdge(1, 3) {
+		t.Error("workers in different hotspots must be independent")
+	}
+}
+
+func TestSeparateTreeCoversAllWorkersOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		var workers []*core.Worker
+		for i := 0; i < 12; i++ {
+			workers = append(workers, worker(i, r.Float64()*3, r.Float64()*3, 0.8, 0, 1e5))
+		}
+		var tasks []*core.Task
+		for i := 0; i < 25; i++ {
+			tasks = append(tasks, task(i, r.Float64()*3, r.Float64()*3, 0, 1e5))
+		}
+		sep := Separate(workers, tasks, 0, opts)
+		seen := make(map[int]int)
+		for _, root := range sep.Forest {
+			for _, w := range root.AllWorkers() {
+				seen[w.ID]++
+			}
+		}
+		if len(seen) != len(workers) {
+			t.Fatalf("tree covers %d of %d workers", len(seen), len(workers))
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("worker %d appears %d times", id, n)
+			}
+		}
+	}
+}
+
+func TestSeparateSiblingIndependence(t *testing.T) {
+	// Property ii of the RTC tree: no dependency edge crosses sibling
+	// subtrees.
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		var workers []*core.Worker
+		for i := 0; i < 14; i++ {
+			workers = append(workers, worker(i, r.Float64()*4, r.Float64()*4, 0.7, 0, 1e5))
+		}
+		var tasks []*core.Task
+		for i := 0; i < 30; i++ {
+			tasks = append(tasks, task(i, r.Float64()*4, r.Float64()*4, 0, 1e5))
+		}
+		sep := Separate(workers, tasks, 0, opts)
+		idx := make(map[int]int) // worker id → graph vertex
+		for i, w := range workers {
+			idx[w.ID] = i
+		}
+		var check func(n *TreeNode)
+		check = func(n *TreeNode) {
+			for i := 0; i < len(n.Children); i++ {
+				for j := i + 1; j < len(n.Children); j++ {
+					for _, a := range n.Children[i].AllWorkers() {
+						for _, b := range n.Children[j].AllWorkers() {
+							if sep.Graph.HasEdge(idx[a.ID], idx[b.ID]) {
+								t.Fatalf("edge between sibling subtrees: %d-%d", a.ID, b.ID)
+							}
+						}
+					}
+				}
+			}
+			for _, c := range n.Children {
+				check(c)
+			}
+		}
+		for _, root := range sep.Forest {
+			check(root)
+		}
+	}
+}
+
+func TestSeparateDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	var workers []*core.Worker
+	for i := 0; i < 10; i++ {
+		workers = append(workers, worker(i, r.Float64()*2, r.Float64()*2, 1, 0, 1e5))
+	}
+	var tasks []*core.Task
+	for i := 0; i < 20; i++ {
+		tasks = append(tasks, task(i, r.Float64()*2, r.Float64()*2, 0, 1e5))
+	}
+	flatten := func(sep *Separation) []int {
+		var out []int
+		var rec func(n *TreeNode)
+		rec = func(n *TreeNode) {
+			for _, w := range n.Workers {
+				out = append(out, w.ID)
+			}
+			out = append(out, -1)
+			for _, c := range n.Children {
+				rec(c)
+			}
+		}
+		for _, root := range sep.Forest {
+			rec(root)
+		}
+		return out
+	}
+	a := flatten(Separate(workers, tasks, 0, opts))
+	b := flatten(Separate(workers, tasks, 0, opts))
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic separation")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic tree structure")
+		}
+	}
+}
+
+func TestTreeNodeHelpers(t *testing.T) {
+	leaf := &TreeNode{Workers: []*core.Worker{worker(3, 0, 0, 1, 0, 1)}}
+	root := &TreeNode{
+		Workers:  []*core.Worker{worker(1, 0, 0, 1, 0, 1), worker(2, 0, 0, 1, 0, 1)},
+		Children: []*TreeNode{leaf},
+	}
+	if root.Size() != 3 {
+		t.Errorf("Size = %d", root.Size())
+	}
+	if root.Depth() != 2 {
+		t.Errorf("Depth = %d", root.Depth())
+	}
+	var nilNode *TreeNode
+	if nilNode.Depth() != 0 || nilNode.AllWorkers() != nil {
+		t.Error("nil node helpers")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.MaxSeqLen <= 0 || o.MaxReachable <= 0 || o.MaxSequences <= 0 || o.Travel.Speed <= 0 {
+		t.Errorf("defaults missing: %+v", o)
+	}
+	o2 := Options{MaxSeqLen: 9}.WithDefaults()
+	if o2.MaxSeqLen != 9 {
+		t.Error("explicit value clobbered")
+	}
+}

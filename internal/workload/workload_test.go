@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/predict"
+)
+
+func TestYuecheMatchesTable2(t *testing.T) {
+	c := Yueche()
+	if c.NumWorkers != 624 || c.NumTasks != 11052 {
+		t.Errorf("Yueche cardinalities %d/%d do not match Table II", c.NumWorkers, c.NumTasks)
+	}
+	if c.Duration != 7200 {
+		t.Errorf("Yueche window = %v s, want 2 h", c.Duration)
+	}
+}
+
+func TestDiDiMatchesTable2(t *testing.T) {
+	c := DiDi()
+	if c.NumWorkers != 760 || c.NumTasks != 8869 {
+		t.Errorf("DiDi cardinalities %d/%d do not match Table II", c.NumWorkers, c.NumTasks)
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	c := Yueche().Scaled(0.05)
+	s := Generate(c)
+	if len(s.Tasks) != c.NumTasks {
+		t.Errorf("tasks = %d, want %d", len(s.Tasks), c.NumTasks)
+	}
+	if len(s.Workers) != c.NumWorkers {
+		t.Errorf("workers = %d, want %d", len(s.Workers), c.NumWorkers)
+	}
+	wantHist := int(float64(c.NumTasks) * c.HistoryDuration / c.Duration)
+	if len(s.History) != wantHist {
+		t.Errorf("history = %d, want %d", len(s.History), wantHist)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Yueche().Scaled(0.05))
+	b := Generate(Yueche().Scaled(0.05))
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatal("task counts differ")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i].Pub != b.Tasks[i].Pub || a.Tasks[i].Loc != b.Tasks[i].Loc {
+			t.Fatal("tasks differ between identically seeded runs")
+		}
+	}
+	for i := range a.Workers {
+		if a.Workers[i].On != b.Workers[i].On || a.Workers[i].Loc != b.Workers[i].Loc {
+			t.Fatal("workers differ between identically seeded runs")
+		}
+	}
+}
+
+func TestGenerateRespectsWindows(t *testing.T) {
+	c := DiDi().Scaled(0.05)
+	s := Generate(c)
+	for _, task := range s.Tasks {
+		if task.Pub < 0 || task.Pub >= c.Duration {
+			t.Fatalf("task pub %v outside [0,%v)", task.Pub, c.Duration)
+		}
+		if math.Abs(task.Exp-task.Pub-c.TaskValid) > 1e-9 {
+			t.Fatalf("task validity %v, want %v", task.Exp-task.Pub, c.TaskValid)
+		}
+		if !c.Region.Contains(task.Loc) {
+			t.Fatalf("task outside region: %v", task.Loc)
+		}
+		if task.Cell != s.Grid.CellOf(task.Loc) {
+			t.Fatal("task cell tag mismatch")
+		}
+	}
+	for _, h := range s.History {
+		if h.Pub < -c.HistoryDuration || h.Pub >= 0 {
+			t.Fatalf("history pub %v outside window", h.Pub)
+		}
+	}
+	for _, w := range s.Workers {
+		if w.On < 0 || math.Abs(w.Off-w.On-c.WorkerAvail) > 1e-9 {
+			t.Fatalf("worker window [%v,%v) invalid", w.On, w.Off)
+		}
+		if w.Reach != c.WorkerReach {
+			t.Fatalf("worker reach %v", w.Reach)
+		}
+	}
+}
+
+func TestGenerateSortedAndUniqueIDs(t *testing.T) {
+	s := Generate(Yueche().Scaled(0.05))
+	seen := map[int]bool{}
+	last := math.Inf(-1)
+	for _, task := range s.Tasks {
+		if task.Pub < last {
+			t.Fatal("tasks not sorted by publication")
+		}
+		last = task.Pub
+		if seen[task.ID] {
+			t.Fatalf("duplicate task id %d", task.ID)
+		}
+		seen[task.ID] = true
+	}
+	for _, h := range s.History {
+		if seen[h.ID] {
+			t.Fatalf("history id %d collides with run task", h.ID)
+		}
+		seen[h.ID] = true
+	}
+}
+
+func TestDependencySignalPresent(t *testing.T) {
+	// The generator must produce a measurable lagged cross-cell signal:
+	// over the whole horizon some pair of distinct cells (src, dst) from
+	// the dependency structure co-occurs with the configured lag far more
+	// often than chance. We verify by checking that dependent tasks exist:
+	// tasks in a sink cell published DependencyLag±6 s after a source-cell
+	// task, at a rate well above the base rate for random cell pairs.
+	c := Yueche().Scaled(0.2)
+	c.DependencyProb = 0.9
+	s := Generate(c)
+
+	// Count per-cell tasks and lagged co-occurrences for all ordered cell
+	// pairs; the max pair should stand out.
+	type ev struct {
+		t    float64
+		cell int
+	}
+	var evs []ev
+	for _, task := range s.Tasks {
+		evs = append(evs, ev{task.Pub, task.Cell})
+	}
+	counts := map[[2]int]int{}
+	for i, a := range evs {
+		for j := i + 1; j < len(evs) && evs[j].t-a.t < c.DependencyLag+6; j++ {
+			if evs[j].t-a.t > c.DependencyLag-6 && evs[j].cell != a.cell {
+				counts[[2]int{a.cell, evs[j].cell}]++
+			}
+		}
+	}
+	if len(counts) == 0 {
+		t.Fatal("no lagged co-occurrences at all")
+	}
+	maxCount, total := 0, 0
+	for _, n := range counts {
+		total += n
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	mean := float64(total) / float64(len(counts))
+	if float64(maxCount) < 3*mean {
+		t.Errorf("strongest lagged pair (%d) not above 3x mean (%.1f); dependency signal too weak", maxCount, mean)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := Yueche().Scaled(0.1)
+	if c.NumWorkers != 62 || c.NumTasks != 1105 {
+		t.Errorf("scaled counts %d/%d", c.NumWorkers, c.NumTasks)
+	}
+	if c.Duration != 720 {
+		t.Errorf("scaled duration %v", c.Duration)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Scaled(0) should panic")
+		}
+	}()
+	Yueche().Scaled(0)
+}
+
+func TestSeriesConfig(t *testing.T) {
+	s := Generate(DiDi().Scaled(0.05))
+	sc := s.SeriesConfig(3, 5)
+	if sc.T0 != -s.Config.HistoryDuration {
+		t.Errorf("series T0 = %v", sc.T0)
+	}
+	if sc.K != 3 || sc.DeltaT != 5 {
+		t.Errorf("series params %d/%v", sc.K, sc.DeltaT)
+	}
+	// Series over history must be buildable and non-empty.
+	series := predict.BuildSeries(sc, s.History, 0)
+	if series.P() == 0 {
+		t.Error("history series is empty")
+	}
+	nonzero := false
+	for _, v := range series.Vectors {
+		for _, x := range v.Data {
+			if x == 1 {
+				nonzero = true
+			}
+		}
+	}
+	if !nonzero {
+		t.Error("history series has no demand at all")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	c := Yueche()
+	c.NumTasks = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero tasks")
+		}
+	}()
+	Generate(c)
+}
+
+func TestDynamicAvailabilityBreaks(t *testing.T) {
+	c := Yueche().Scaled(0.05)
+	c.BreakProb = 0.5
+	c.BreakLength = 120
+	s := Generate(c)
+	// Split workers appear as extra availability segments.
+	if len(s.Workers) <= c.NumWorkers {
+		t.Fatalf("expected split segments: %d workers for %d configured", len(s.Workers), c.NumWorkers)
+	}
+	// Total available time is preserved per physical worker: the sum over
+	// all segments equals NumWorkers * WorkerAvail.
+	total := 0.0
+	for _, w := range s.Workers {
+		if w.Off <= w.On {
+			t.Fatalf("degenerate segment [%v,%v)", w.On, w.Off)
+		}
+		total += w.Off - w.On
+	}
+	want := float64(c.NumWorkers) * c.WorkerAvail
+	if math.Abs(total-want) > 1e-6*want {
+		t.Errorf("total availability %v, want %v", total, want)
+	}
+	// Unique segment ids.
+	seen := map[int]bool{}
+	for _, w := range s.Workers {
+		if seen[w.ID] {
+			t.Fatalf("duplicate segment id %d", w.ID)
+		}
+		seen[w.ID] = true
+	}
+}
+
+func TestBreaksDisabledByDefault(t *testing.T) {
+	s := Generate(DiDi().Scaled(0.05))
+	if len(s.Workers) != DiDi().Scaled(0.05).NumWorkers {
+		t.Errorf("breaks should be off by default")
+	}
+}
+
+func TestBreaksDeterministic(t *testing.T) {
+	c := Yueche().Scaled(0.05)
+	c.BreakProb = 0.4
+	c.BreakLength = 90
+	a := Generate(c)
+	b := Generate(c)
+	if len(a.Workers) != len(b.Workers) {
+		t.Fatal("nondeterministic break splitting")
+	}
+	for i := range a.Workers {
+		if a.Workers[i].On != b.Workers[i].On || a.Workers[i].Off != b.Workers[i].Off {
+			t.Fatal("segment windows differ across identical seeds")
+		}
+	}
+}
