@@ -25,11 +25,12 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		run    = flag.String("run", "", "experiment id to run, or 'all'")
-		scale  = flag.String("scale", "standard", "quick | standard | full")
-		csvDir = flag.String("csv", "", "also write <id>.csv files into this directory")
-		points = flag.Int("points", 0, "override sweep points per parameter (0 = all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		run      = flag.String("run", "", "experiment id to run, or 'all'")
+		scale    = flag.String("scale", "standard", "quick | standard | full")
+		csvDir   = flag.String("csv", "", "also write <id>.csv files into this directory")
+		points   = flag.Int("points", 0, "override sweep points per parameter (0 = all)")
+		parallel = flag.Int("parallelism", 0, "planner fan-out per instant (0 = one goroutine per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 	if *points > 0 {
 		s.SweepPoints = *points
 	}
+	s.Parallelism = *parallel
 
 	var todo []experiments.Experiment
 	if *run == "all" {

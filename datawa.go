@@ -107,6 +107,12 @@ type Config struct {
 	// Step is the streaming replan interval in seconds (default 1).
 	Step float64
 
+	// Parallelism bounds the goroutines a planning instant may fan out
+	// across (per-worker reachability and per-RTC-tree search): 0 uses one
+	// goroutine per CPU, 1 runs serially. Plans are byte-identical at
+	// every setting; only planning CPU time changes.
+	Parallelism int
+
 	// Seed makes training and planning deterministic (default 1).
 	Seed int64
 }
@@ -181,7 +187,8 @@ func (f *Framework) assignOptions() assign.Options {
 			MaxSeqLen:    f.cfg.MaxSeqLen,
 			MaxReachable: f.cfg.MaxReachable,
 		},
-		MaxNodes: f.cfg.MaxSearchNodes,
+		MaxNodes:    f.cfg.MaxSearchNodes,
+		Parallelism: f.cfg.Parallelism,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/tvf"
 	"repro/internal/wds"
 )
@@ -18,8 +19,15 @@ import (
 type Options struct {
 	// WDS configures reachable-set and sequence generation.
 	WDS wds.Options
-	// MaxNodes caps the number of exact-search nodes per planning call;
-	// past the budget the search completes greedily (default 20000).
+	// MaxNodes caps the number of exact-search nodes per RTC tree; past the
+	// budget a tree's search completes greedily (default 20000). The budget
+	// is per tree (not shared across the forest) so that every tree's
+	// search is independent of its siblings — the property the parallel
+	// planner relies on for byte-identical serial/parallel results. Note
+	// this deliberately differs from earlier revisions, where one budget
+	// was drained across the whole forest: when the budget binds,
+	// NodesLastPlan can exceed MaxNodes by up to a factor of the forest
+	// size.
 	MaxNodes int
 	// VirtualWeight is the objective value of assigning a virtual
 	// (predicted) task relative to a real task's 1.0 (default 0.35,
@@ -34,6 +42,14 @@ type Options struct {
 	// searched as one flat worker list, losing the sibling-independence
 	// pruning of Section IV-A.4.
 	Flat bool
+	// Parallelism bounds the goroutines used to search the trees of the
+	// RTC forest concurrently (and, unless WDS.Parallelism is set
+	// separately, the per-worker loop inside wds.Separate): 0 uses one
+	// goroutine per CPU, 1 (or any negative value) runs serially. Trees
+	// are independent by construction — workers in different trees share
+	// no reachable task — so every setting produces the identical plan,
+	// node count, and sample stream.
+	Parallelism int
 }
 
 // WithDefaults returns o with zero fields defaulted.
@@ -136,21 +152,30 @@ func (s *Search) Name() string {
 	return "DFSearch"
 }
 
+// SetParallelism overrides Opts.Parallelism; see that field for semantics.
+// It exists so layers that receive a Planner interface (the stream engine,
+// the experiment harness) can thread one parallelism knob through without
+// knowing the concrete options type.
+func (s *Search) SetParallelism(p int) { s.Opts.Parallelism = p }
+
 // Plan implements Planner. It is the Task Planning Assignment driver of
 // Algorithm 4: per-worker reachable sets and maximal valid sequences, the
 // worker dependency graph, clique partition and RTC tree (all via
 // wds.Separate), then one search per tree of the forest.
+//
+// The trees are searched concurrently on a bounded pool (Options.
+// Parallelism). Each tree owns a disjoint slice of the task pool — two
+// workers sharing a reachable task are by definition in the same dependency
+// component — so per-tree searches never contend, and the merge in forest
+// order (components sorted by their smallest worker index) makes the plan,
+// NodesLastPlan, and collected samples byte-identical to a serial run.
 func (s *Search) Plan(workers []*core.Worker, tasks []*core.Task, now float64) core.Plan {
 	o := s.Opts.WithDefaults()
-	sep := wds.Separate(workers, tasks, now, o.WDS)
-	run := &searchRun{
-		opts:    o,
-		sep:     sep,
-		now:     now,
-		model:   s.Model,
-		collect: s.Collect,
+	wdsOpts := o.WDS
+	if wdsOpts.Parallelism == 0 {
+		wdsOpts.Parallelism = o.Parallelism
 	}
-	avail := newTaskSet(tasks)
+	sep := wds.Separate(workers, tasks, now, wdsOpts)
 	forest := sep.Forest
 	if o.Flat {
 		// Ablation: collapse each tree into a single node holding every
@@ -163,23 +188,79 @@ func (s *Search) Plan(workers []*core.Worker, tasks []*core.Task, now float64) c
 		}
 		forest = flat
 	}
-	var plan core.Plan
-	for _, root := range forest {
-		if s.Model != nil {
-			plan = append(plan, run.searchTVF(root, avail, root.Workers)...)
-		} else {
-			_, sub := run.search(root, avail, root.Workers)
-			// Commit the winning sub-plan's tasks before the next tree;
-			// trees are independent, so this is bookkeeping only.
-			for _, a := range sub {
-				avail.removeSeq(a.Seq)
+
+	// Partition the pool into per-tree task universes in one pass: every
+	// task reachable by one of a tree's workers, in pool order. The
+	// reachable sets of different trees are disjoint (sharing a task merges
+	// two workers into one dependency component), so this is a partition,
+	// and tasks reachable by no worker can never appear in any candidate
+	// sequence. Scoping each tree's taskSet this way also scopes the RL
+	// state (stateFor → taskSet.slice) to the tree's own tasks, so TVF
+	// features and samples cannot depend on sibling completion order — a
+	// deliberate change from draining one global pool across the forest.
+	treeOf := make(map[int]int)
+	for i, root := range forest {
+		for _, w := range root.AllWorkers() {
+			for _, t := range sep.Reachable[w.ID] {
+				treeOf[t.ID] = i
 			}
-			plan = append(plan, sub...)
 		}
 	}
-	s.NodesLastPlan = run.nodes
+	treeTasks := make([][]*core.Task, len(forest))
+	for _, t := range tasks {
+		if i, ok := treeOf[t.ID]; ok {
+			treeTasks[i] = append(treeTasks[i], t)
+		}
+	}
+
+	type treeResult struct {
+		plan    core.Plan
+		nodes   int
+		samples []tvf.Sample
+	}
+	results := make([]treeResult, len(forest))
+	par.Do(len(forest), o.Parallelism, func(i int) {
+		root := forest[i]
+		run := &searchRun{
+			opts:    o,
+			sep:     sep,
+			now:     now,
+			model:   s.Model,
+			collect: s.Collect,
+		}
+		avail := newTaskSet(treeTasks[i])
+		if s.Model != nil {
+			results[i].plan = run.searchTVF(root, avail, root.Workers)
+		} else {
+			_, results[i].plan = run.search(root, avail, root.Workers)
+		}
+		results[i].nodes = run.nodes
+		results[i].samples = run.samples
+	})
+
+	var plan core.Plan
+	nodes := 0
+	for _, r := range results {
+		plan = append(plan, r.plan...)
+		nodes += r.nodes
+	}
+	s.NodesLastPlan = nodes
 	if s.Collect {
-		s.Samples = append(s.Samples, run.samples...)
+		// Each tree collects under its own MaxSamples cap; the merged
+		// stream is re-capped so one Plan call still emits at most
+		// MaxSamples, exactly as a serial traversal of the forest would.
+		added := 0
+		for _, r := range results {
+			room := o.MaxSamples - added
+			if room <= 0 {
+				break
+			}
+			if len(r.samples) > room {
+				r.samples = r.samples[:room]
+			}
+			added += len(r.samples)
+			s.Samples = append(s.Samples, r.samples...)
+		}
 	}
 	return plan
 }

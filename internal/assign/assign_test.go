@@ -328,3 +328,124 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Errorf("defaults missing: %+v", o)
 	}
 }
+
+// randomScenario builds a reproducible scattered instance large enough to
+// have several dependency components.
+func randomScenario(seed int64, nWorkers, nTasks int, span float64) ([]*core.Worker, []*core.Task) {
+	r := rand.New(rand.NewSource(seed))
+	var ws []*core.Worker
+	for i := 0; i < nWorkers; i++ {
+		ws = append(ws, worker(i+1, r.Float64()*span, r.Float64()*span,
+			0.3+r.Float64()*0.5, 0, 1e5))
+	}
+	var ts []*core.Task
+	for i := 0; i < nTasks; i++ {
+		ts = append(ts, task(i+1, r.Float64()*span, r.Float64()*span, 0, 1e5))
+	}
+	return ws, ts
+}
+
+func samePlans(t *testing.T, a, b core.Plan) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("plan lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Worker.ID != b[i].Worker.ID {
+			t.Fatalf("assignment %d: worker %d vs %d", i, a[i].Worker.ID, b[i].Worker.ID)
+		}
+		ia, ib := a[i].Seq.IDs(), b[i].Seq.IDs()
+		if len(ia) != len(ib) {
+			t.Fatalf("assignment %d: sequence lengths differ", i)
+		}
+		for j := range ia {
+			if ia[j] != ib[j] {
+				t.Fatalf("assignment %d task %d: %d vs %d", i, j, ia[j], ib[j])
+			}
+		}
+	}
+}
+
+// TestParallelPlanMatchesSerial is the determinism contract of the
+// concurrent planner: on fixed-seed scenarios the parallel search returns
+// the byte-identical plan, node count, and RL sample stream of the serial
+// path, at every parallelism level and under every planner mode.
+func TestParallelPlanMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{5, 23, 87} {
+		ws, ts := randomScenario(seed, 40, 120, 8)
+
+		serialOpts := opts()
+		serialOpts.Parallelism = 1
+		serial := &Search{Opts: serialOpts, Collect: true}
+		want := serial.Plan(ws, ts, 0)
+		planIsValid(t, want, 0)
+
+		for _, p := range []int{2, 4, 8, 0} {
+			o := opts()
+			o.Parallelism = p
+			s := &Search{Opts: o, Collect: true}
+			got := s.Plan(ws, ts, 0)
+			planIsValid(t, got, 0)
+			samePlans(t, want, got)
+			if s.NodesLastPlan != serial.NodesLastPlan {
+				t.Fatalf("seed %d parallelism %d: nodes %d vs serial %d",
+					seed, p, s.NodesLastPlan, serial.NodesLastPlan)
+			}
+			if len(s.Samples) != len(serial.Samples) {
+				t.Fatalf("seed %d parallelism %d: %d samples vs serial %d",
+					seed, p, len(s.Samples), len(serial.Samples))
+			}
+			for i := range s.Samples {
+				if s.Samples[i] != serial.Samples[i] {
+					t.Fatalf("seed %d parallelism %d: sample %d differs", seed, p, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelPlanMatchesSerialTVF(t *testing.T) {
+	ws, ts := randomScenario(29, 30, 90, 7)
+	samples := CollectSamples(ws, ts, 0, opts())
+	model := tvf.NewModel(16, 44)
+	model.Train(samples, tvf.TrainConfig{Epochs: 10, Seed: 44})
+
+	serialOpts := opts()
+	serialOpts.Parallelism = 1
+	want := (&Search{Opts: serialOpts, Model: model}).Plan(ws, ts, 0)
+	for _, p := range []int{4, 0} {
+		o := opts()
+		o.Parallelism = p
+		got := (&Search{Opts: o, Model: model}).Plan(ws, ts, 0)
+		samePlans(t, want, got)
+	}
+}
+
+func TestParallelPlanMatchesSerialUnderBudget(t *testing.T) {
+	// The node budget is per tree, so greedy completion kicks in at the
+	// same search positions regardless of scheduling.
+	ws, ts := randomScenario(61, 50, 150, 6)
+	serialOpts := opts()
+	serialOpts.Parallelism = 1
+	serialOpts.MaxNodes = 40
+	want := (&Search{Opts: serialOpts}).Plan(ws, ts, 0)
+	planIsValid(t, want, 0)
+	o := opts()
+	o.Parallelism = 4
+	o.MaxNodes = 40
+	got := (&Search{Opts: o}).Plan(ws, ts, 0)
+	samePlans(t, want, got)
+}
+
+// TestParallelPlanRace exercises the concurrent planner with maximum
+// fan-out so `go test -race` patrols the tree isolation invariant.
+func TestParallelPlanRace(t *testing.T) {
+	ws, ts := randomScenario(97, 60, 200, 10)
+	o := opts()
+	o.Parallelism = 8
+	s := &Search{Opts: o, Collect: true}
+	for call := 0; call < 3; call++ {
+		plan := s.Plan(ws, ts, float64(call))
+		planIsValid(t, plan, float64(call))
+	}
+}

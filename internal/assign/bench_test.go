@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -65,5 +66,69 @@ func BenchmarkTVFSearchPlan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Plan(ws, ts, 0)
+	}
+}
+
+// scaledInstance builds a scattered population at constant spatial density
+// so the RTC forest holds many independent trees — the unit of parallelism.
+func scaledInstance(nWorkers, nTasks int) ([]*core.Worker, []*core.Task) {
+	r := rand.New(rand.NewSource(21))
+	span := math.Sqrt(float64(nTasks) / 13.0)
+	var ws []*core.Worker
+	for i := 0; i < nWorkers; i++ {
+		ws = append(ws, &core.Worker{
+			ID: i + 1, Loc: geo.Point{X: r.Float64() * span, Y: r.Float64() * span},
+			Reach: 0.3, On: 0, Off: 1e5,
+		})
+	}
+	var ts []*core.Task
+	for i := 0; i < nTasks; i++ {
+		ts = append(ts, &core.Task{
+			ID: i + 1, Loc: geo.Point{X: r.Float64() * span, Y: r.Float64() * span},
+			Pub: 0, Exp: 1e5, Cell: -1,
+		})
+	}
+	return ws, ts
+}
+
+// BenchmarkPlanScale compares the serial planner against the concurrent one
+// across planning-instant sizes (total entities = workers + tasks at a 1:4
+// ratio). Plans are byte-identical at every parallelism level; the speedup
+// of parallel4 over serial on a multi-core host is the win being measured
+// (on a single-core host the two are expected to tie, minus pool overhead).
+func BenchmarkPlanScale(b *testing.B) {
+	scales := []struct {
+		name             string
+		nWorkers, nTasks int
+	}{
+		{"1k", 200, 800},
+		{"5k", 1000, 4000},
+		{"20k", 4000, 16000},
+	}
+	for _, sc := range scales {
+		ws, ts := scaledInstance(sc.nWorkers, sc.nTasks)
+		for _, mode := range []struct {
+			name        string
+			parallelism int
+		}{
+			{"serial", 1},
+			{"parallel4", 4},
+		} {
+			b.Run(sc.name+"/"+mode.name, func(b *testing.B) {
+				o := benchOpts()
+				// Bounded per-tree effort keeps one plan call in benchmark
+				// range while leaving each tree enough search to parallelize.
+				o.MaxNodes = 400
+				o.WDS.MaxSeqLen = 2
+				o.WDS.MaxSequences = 16
+				o.Parallelism = mode.parallelism
+				s := &Search{Opts: o}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Plan(ws, ts, 0)
+				}
+			})
+		}
 	}
 }

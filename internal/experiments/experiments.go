@@ -40,6 +40,10 @@ type Scale struct {
 	// SweepPoints limits how many values of each swept parameter run
 	// (0 = all five, matching the paper).
 	SweepPoints int
+	// Parallelism bounds the planner's per-instant fan-out across RTC
+	// components (0 = one goroutine per CPU, 1 = serial). Assignment
+	// results are identical at every setting; only CPU time moves.
+	Parallelism int
 }
 
 // Quick is the test/bench preset: every experiment finishes in seconds.

@@ -16,16 +16,15 @@ type Graph struct {
 	adj []map[int]struct{}
 }
 
-// New returns an empty graph on n vertices.
+// New returns an empty graph on n vertices. Adjacency sets are allocated
+// lazily on first edge insertion, so a graph over many vertices with edges
+// confined to a small subset (the per-component chordal completions of the
+// RTC construction) costs memory proportional to its edges, not to n.
 func New(n int) *Graph {
 	if n < 0 {
 		panic(fmt.Sprintf("graphutil: negative vertex count %d", n))
 	}
-	g := &Graph{n: n, adj: make([]map[int]struct{}, n)}
-	for i := range g.adj {
-		g.adj[i] = make(map[int]struct{})
-	}
-	return g
+	return &Graph{n: n, adj: make([]map[int]struct{}, n)}
 }
 
 // N returns the vertex count.
@@ -38,6 +37,12 @@ func (g *Graph) AddEdge(u, v int) {
 	}
 	g.check(u)
 	g.check(v)
+	if g.adj[u] == nil {
+		g.adj[u] = make(map[int]struct{})
+	}
+	if g.adj[v] == nil {
+		g.adj[v] = make(map[int]struct{})
+	}
 	g.adj[u][v] = struct{}{}
 	g.adj[v][u] = struct{}{}
 }
@@ -127,6 +132,56 @@ func (g *Graph) Components(include func(int) bool) [][]int {
 	return comps
 }
 
+// ComponentsOf returns the connected components of the subgraph induced by
+// vertices, further restricted to those for which include(v) is true when
+// include is non-nil. The output format and ordering match Components —
+// each component ascending, components ordered by smallest vertex — but the
+// cost is proportional to the subset and its edges, never to the full
+// vertex range. (The RTC construction in internal/wds needs this query so
+// often that it inlines a CSR-specialized equivalent with reused scratch;
+// this method is the general-purpose form of the same contract.)
+func (g *Graph) ComponentsOf(vertices []int, include func(int) bool) [][]int {
+	// Dense scratch beats maps here: the BFS probes in/seen once per edge,
+	// and the clique-selection loop of the RTC construction calls this many
+	// times per component.
+	in := make([]bool, g.n)
+	seen := make([]bool, g.n)
+	seeds := make([]int, 0, len(vertices))
+	for _, v := range vertices {
+		g.check(v)
+		if include == nil || include(v) {
+			in[v] = true
+			seeds = append(seeds, v)
+		}
+	}
+	sort.Ints(seeds)
+	var comps [][]int
+	for _, s := range seeds {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for u := range g.adj[v] {
+				if in[u] && !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	// Seeds ascend, so components already come out ordered by smallest
+	// vertex, matching Components.
+	return comps
+}
+
 // MCS runs Maximum Cardinality Search over the given vertex subset and
 // returns the visit order (first visited first). Ties break toward the
 // smallest vertex id, so the result is deterministic. The *reverse* of the
@@ -141,14 +196,15 @@ func (g *Graph) MCS(vertices []int) []int {
 	weight := make(map[int]int, len(vertices))
 	visited := make(map[int]bool, len(vertices))
 	order := make([]int, 0, len(vertices))
+	// Deterministic: scan ascending ids. The sorted id list is loop
+	// invariant, so it is built once, not per selection round.
+	sorted := make([]int, 0, len(in))
+	for v := range in {
+		sorted = append(sorted, v)
+	}
+	sort.Ints(sorted)
 	for len(order) < len(in) {
 		best, bestW := -1, -1
-		// Deterministic: scan ascending ids.
-		sorted := make([]int, 0, len(in))
-		for v := range in {
-			sorted = append(sorted, v)
-		}
-		sort.Ints(sorted)
 		for _, v := range sorted {
 			if visited[v] {
 				continue

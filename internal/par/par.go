@@ -1,0 +1,66 @@
+// Package par provides the small bounded-parallelism primitive shared by the
+// planning pipeline: run n independent index-addressed jobs on a fixed pool
+// of goroutines. Callers write results into per-index slots, so output order
+// never depends on scheduling and a serial run (workers ≤ 1) is the exact
+// reference semantics of every parallel run.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism setting: 0 means one worker per available
+// CPU (runtime.GOMAXPROCS), anything below 1 means serial, and positive
+// values are taken as-is. n caps the answer — there is never a reason to
+// start more goroutines than jobs.
+func Workers(parallelism, n int) int {
+	p := parallelism
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// Do runs fn(0) … fn(n-1), fanning out across Workers(parallelism, n)
+// goroutines, and returns when all calls have finished. Jobs are handed out
+// by an atomic counter, so long jobs do not serialize behind a static
+// partition. With an effective worker count of 1 the calls happen inline on
+// the caller's goroutine in index order — the deterministic reference path.
+//
+// fn must confine its writes to state owned by index i; Do adds no locking.
+func Do(n, parallelism int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := Workers(parallelism, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

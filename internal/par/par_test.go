@@ -1,0 +1,52 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		parallelism, n, want int
+	}{
+		{1, 10, 1},
+		{-3, 10, 1},
+		{4, 10, 4},
+		{4, 2, 2},
+		{0, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.parallelism, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.parallelism, c.n, got, c.want)
+		}
+	}
+	if got := Workers(0, 1000); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 1000) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestDoRunsEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 8, 0} {
+		const n = 500
+		counts := make([]int32, n)
+		Do(n, p, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("parallelism %d: index %d ran %d times", p, i, c)
+			}
+		}
+	}
+	Do(0, 4, func(int) { t.Fatal("fn called for n = 0") })
+	Do(-5, 4, func(int) { t.Fatal("fn called for n < 0") })
+}
+
+func TestDoSerialIsInOrder(t *testing.T) {
+	var order []int
+	Do(6, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v not ascending", order)
+		}
+	}
+}

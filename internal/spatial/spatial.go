@@ -1,0 +1,157 @@
+// Package spatial provides a uniform grid index over task locations, the
+// data structure behind the O(|W|·k) reachability queries of the planning
+// pipeline. A planning instant builds one Index over the open task pool and
+// answers every worker's "which tasks lie within my reachable distance d?"
+// by scanning only the grid cells the query disc overlaps, instead of the
+// whole pool (Section IV-A.1 of the DATA-WA paper describes the constraint
+// being evaluated; the index changes its cost, not its answer).
+//
+// The cell size is normally derived from the largest worker reach radius at
+// the instant: with cell ≥ d, a radius-d query touches at most 3×3 cells.
+// Cells are stored sparsely (a map keyed by cell coordinates), so a tiny
+// reach radius inside a huge study area costs memory proportional to the
+// number of occupied cells, never to the area.
+//
+// Queries are exact and deterministic: Within returns precisely the tasks
+// with Euclidean distance ≤ r from the query point, in the order the tasks
+// were given to NewIndex, regardless of cell geometry. The brute-force scan
+// and the index are therefore interchangeable everywhere — the invariant the
+// package tests pin down against a linear-scan oracle.
+package spatial
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// Index is a uniform grid over a fixed set of tasks. It is immutable after
+// construction and safe for concurrent queries from multiple goroutines.
+type Index struct {
+	tasks []*core.Task
+	cell  float64
+	// origin anchors cell (0,0); using the data's own min corner keeps cell
+	// coordinates small and well-conditioned.
+	originX, originY float64
+	// buckets maps packed cell coordinates to indices into tasks, each
+	// bucket in ascending task order.
+	buckets map[uint64][]int32
+	// flat is the no-grid fallback used when the cell size is unusable
+	// (no tasks, or a non-positive/non-finite cell): every query scans all
+	// tasks, preserving exactness.
+	flat bool
+}
+
+// CellSizeForReach derives the index cell size from the largest worker reach
+// radius at a planning instant. Using the maximum keeps every worker's query
+// disc within a 3×3 cell neighborhood; smaller per-worker radii simply scan
+// fewer cells.
+func CellSizeForReach(workers []*core.Worker) float64 {
+	maxReach := 0.0
+	for _, w := range workers {
+		if w.Reach > maxReach {
+			maxReach = w.Reach
+		}
+	}
+	return maxReach
+}
+
+// NewIndex builds a grid index over tasks with the given cell size in
+// kilometers. A non-positive or non-finite cell size yields a valid index
+// that answers queries by scanning all tasks (the degenerate single-bucket
+// grid), so callers never need to special-case zero-reach instants. The
+// tasks slice is retained but not mutated.
+func NewIndex(tasks []*core.Task, cellSize float64) *Index {
+	ix := &Index{tasks: tasks, cell: cellSize}
+	if len(tasks) == 0 || cellSize <= 0 || math.IsInf(cellSize, 1) || math.IsNaN(cellSize) {
+		ix.flat = true
+		return ix
+	}
+	ix.originX, ix.originY = tasks[0].Loc.X, tasks[0].Loc.Y
+	for _, t := range tasks {
+		ix.originX = math.Min(ix.originX, t.Loc.X)
+		ix.originY = math.Min(ix.originY, t.Loc.Y)
+	}
+	ix.buckets = make(map[uint64][]int32, len(tasks))
+	for i, t := range tasks {
+		key := ix.key(ix.cellCoord(t.Loc.X, ix.originX), ix.cellCoord(t.Loc.Y, ix.originY))
+		ix.buckets[key] = append(ix.buckets[key], int32(i))
+	}
+	return ix
+}
+
+// Len returns the number of indexed tasks.
+func (ix *Index) Len() int { return len(ix.tasks) }
+
+// CellSize returns the cell edge length the index was built with (0 when the
+// index runs in its degenerate full-scan mode).
+func (ix *Index) CellSize() float64 {
+	if ix.flat {
+		return 0
+	}
+	return ix.cell
+}
+
+// Tasks returns the indexed task slice in construction order.
+func (ix *Index) Tasks() []*core.Task { return ix.tasks }
+
+func (ix *Index) cellCoord(v, origin float64) int32 {
+	return int32(math.Floor((v - origin) / ix.cell))
+}
+
+func (ix *Index) key(cx, cy int32) uint64 {
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
+}
+
+// Within returns the tasks at Euclidean distance ≤ r from p, in the order
+// they were passed to NewIndex. r < 0 returns nil; r == 0 returns tasks
+// exactly at p.
+func (ix *Index) Within(p geo.Point, r float64) []*core.Task {
+	return ix.AppendWithin(nil, p, r)
+}
+
+// AppendWithin appends the tasks within distance r of p to dst and returns
+// the extended slice, letting per-worker query loops reuse one buffer.
+func (ix *Index) AppendWithin(dst []*core.Task, p geo.Point, r float64) []*core.Task {
+	if r < 0 || math.IsNaN(r) {
+		return dst
+	}
+	// A query disc spanning more cells than there are tasks is cheaper to
+	// answer by scanning the tasks; this also covers r = +Inf and discs so
+	// large the cell coordinates would overflow int32, so the span check
+	// happens in float64 before any integer conversion.
+	spanX := math.Floor((p.X+r-ix.originX)/ix.cell) - math.Floor((p.X-r-ix.originX)/ix.cell) + 1
+	spanY := math.Floor((p.Y+r-ix.originY)/ix.cell) - math.Floor((p.Y-r-ix.originY)/ix.cell) + 1
+	if ix.flat || !(spanX*spanY <= float64(len(ix.tasks))) {
+		for _, t := range ix.tasks {
+			if geo.Dist(p, t.Loc) <= r {
+				dst = append(dst, t)
+			}
+		}
+		return dst
+	}
+	cx0 := ix.cellCoord(p.X-r, ix.originX)
+	cx1 := ix.cellCoord(p.X+r, ix.originX)
+	cy0 := ix.cellCoord(p.Y-r, ix.originY)
+	cy1 := ix.cellCoord(p.Y+r, ix.originY)
+
+	// Collect candidate indices cell by cell, then restore construction
+	// order so the result is identical to the brute-force scan's.
+	var hits []int32
+	for cx := cx0; cx <= cx1; cx++ {
+		for cy := cy0; cy <= cy1; cy++ {
+			for _, i := range ix.buckets[ix.key(cx, cy)] {
+				if geo.Dist(p, ix.tasks[i].Loc) <= r {
+					hits = append(hits, i)
+				}
+			}
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a] < hits[b] })
+	for _, i := range hits {
+		dst = append(dst, ix.tasks[i])
+	}
+	return dst
+}

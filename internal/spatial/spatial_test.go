@@ -1,0 +1,178 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+func randomTasks(r *rand.Rand, n int, span float64) []*core.Task {
+	out := make([]*core.Task, n)
+	for i := range out {
+		out[i] = &core.Task{
+			ID:  i + 1,
+			Loc: geo.Point{X: r.Float64() * span, Y: r.Float64() * span},
+			Pub: 0, Exp: 1e5, Cell: -1,
+		}
+	}
+	return out
+}
+
+// bruteWithin is the linear-scan oracle the index must agree with exactly.
+func bruteWithin(tasks []*core.Task, p geo.Point, r float64) []*core.Task {
+	if r < 0 || math.IsNaN(r) {
+		return nil
+	}
+	var out []*core.Task
+	for _, t := range tasks {
+		if geo.Dist(p, t.Loc) <= r {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func sameTasks(t *testing.T, got, want []*core.Task) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d tasks, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got task %d, want task %d", i, got[i].ID, want[i].ID)
+		}
+	}
+}
+
+func TestWithinMatchesBruteForceOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(200)
+		span := 0.5 + r.Float64()*8
+		tasks := randomTasks(r, n, span)
+		// Cell sizes from much smaller than the radius to much larger.
+		cell := math.Pow(10, -1+2*r.Float64()) * span / 10
+		ix := NewIndex(tasks, cell)
+		for q := 0; q < 20; q++ {
+			p := geo.Point{X: r.Float64()*span*1.4 - span*0.2, Y: r.Float64()*span*1.4 - span*0.2}
+			radius := r.Float64() * span / 2
+			sameTasks(t, ix.Within(p, radius), bruteWithin(tasks, p, radius))
+		}
+	}
+}
+
+func TestWithinBoundaryCells(t *testing.T) {
+	// Points sitting exactly on cell edges and corners, queried at radii
+	// that put them exactly on the disc boundary: distance == r must be
+	// included, just as the brute-force filter includes it.
+	var tasks []*core.Task
+	id := 1
+	for x := 0.0; x <= 4.0; x++ {
+		for y := 0.0; y <= 4.0; y++ {
+			tasks = append(tasks, &core.Task{ID: id, Loc: geo.Point{X: x, Y: y}, Exp: 1e5, Cell: -1})
+			id++
+		}
+	}
+	ix := NewIndex(tasks, 1.0) // cells exactly aligned with the lattice
+	center := geo.Point{X: 2, Y: 2}
+	for _, radius := range []float64{0, 1, math.Sqrt2, 2, 2.5, 10} {
+		sameTasks(t, ix.Within(center, radius), bruteWithin(tasks, center, radius))
+	}
+	// Query point on a cell corner.
+	corner := geo.Point{X: 1, Y: 1}
+	for _, radius := range []float64{0, 0.999999, 1, 1.000001} {
+		sameTasks(t, ix.Within(corner, radius), bruteWithin(tasks, corner, radius))
+	}
+}
+
+func TestWithinZeroRadius(t *testing.T) {
+	tasks := []*core.Task{
+		{ID: 1, Loc: geo.Point{X: 1, Y: 1}, Exp: 1e5, Cell: -1},
+		{ID: 2, Loc: geo.Point{X: 1, Y: 1}, Exp: 1e5, Cell: -1},
+		{ID: 3, Loc: geo.Point{X: 1.0000001, Y: 1}, Exp: 1e5, Cell: -1},
+	}
+	ix := NewIndex(tasks, 0.5)
+	got := ix.Within(geo.Point{X: 1, Y: 1}, 0)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("zero-radius query returned %d tasks, want the 2 colocated ones", len(got))
+	}
+	if got := ix.Within(geo.Point{X: 2, Y: 2}, -1); got != nil {
+		t.Fatal("negative radius must return nil")
+	}
+}
+
+func TestDegenerateCellSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	tasks := randomTasks(r, 50, 3)
+	p := geo.Point{X: 1.5, Y: 1.5}
+	for _, cell := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		ix := NewIndex(tasks, cell)
+		if ix.CellSize() != 0 {
+			t.Errorf("cell %v: CellSize = %v, want 0 (degenerate mode)", cell, ix.CellSize())
+		}
+		sameTasks(t, ix.Within(p, 1), bruteWithin(tasks, p, 1))
+	}
+	// Empty index answers every query with nothing.
+	empty := NewIndex(nil, 1)
+	if got := empty.Within(p, 100); len(got) != 0 {
+		t.Fatalf("empty index returned %d tasks", len(got))
+	}
+	if empty.Len() != 0 {
+		t.Fatal("empty index Len != 0")
+	}
+}
+
+func TestHugeRadiusFallsBackToScan(t *testing.T) {
+	// A disc spanning vastly more cells than there are tasks takes the
+	// full-scan branch; the answer must not change.
+	r := rand.New(rand.NewSource(107))
+	tasks := randomTasks(r, 30, 100)
+	ix := NewIndex(tasks, 0.01) // tiny cells, huge sparse extent
+	p := geo.Point{X: 50, Y: 50}
+	sameTasks(t, ix.Within(p, 500), bruteWithin(tasks, p, 500))
+	sameTasks(t, ix.Within(p, 20), bruteWithin(tasks, p, 20))
+}
+
+func TestCellSizeForReach(t *testing.T) {
+	ws := []*core.Worker{
+		{ID: 1, Reach: 0.3}, {ID: 2, Reach: 1.7}, {ID: 3, Reach: 0.9},
+	}
+	if got := CellSizeForReach(ws); got != 1.7 {
+		t.Fatalf("CellSizeForReach = %v, want 1.7", got)
+	}
+	if got := CellSizeForReach(nil); got != 0 {
+		t.Fatalf("CellSizeForReach(nil) = %v, want 0", got)
+	}
+}
+
+func TestAppendWithinReusesBuffer(t *testing.T) {
+	r := rand.New(rand.NewSource(109))
+	tasks := randomTasks(r, 80, 2)
+	ix := NewIndex(tasks, 0.5)
+	buf := make([]*core.Task, 0, 80)
+	a := ix.AppendWithin(buf[:0], geo.Point{X: 1, Y: 1}, 0.7)
+	sameTasks(t, a, bruteWithin(tasks, geo.Point{X: 1, Y: 1}, 0.7))
+	b := ix.AppendWithin(buf[:0], geo.Point{X: 0.2, Y: 0.3}, 0.4)
+	sameTasks(t, b, bruteWithin(tasks, geo.Point{X: 0.2, Y: 0.3}, 0.4))
+}
+
+func TestExtremeRadiiAndFarQueries(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	tasks := randomTasks(r, 40, 2)
+	ix := NewIndex(tasks, 0.001) // tiny cells: huge radii span astronomic cell counts
+	p := geo.Point{X: 1, Y: 1}
+	// Radii that would overflow int32 cell coordinates must fall back to the
+	// scan and stay exact; +Inf returns everything.
+	for _, radius := range []float64{1e7, 1e12, math.Inf(1)} {
+		sameTasks(t, ix.Within(p, radius), bruteWithin(tasks, p, radius))
+	}
+	if got := ix.Within(p, math.Inf(1)); len(got) != len(tasks) {
+		t.Fatalf("infinite radius returned %d of %d tasks", len(got), len(tasks))
+	}
+	// A query point astronomically far from the data returns nothing.
+	far := geo.Point{X: 1e12, Y: -1e12}
+	sameTasks(t, ix.Within(far, 0.5), bruteWithin(tasks, far, 0.5))
+}

@@ -11,7 +11,11 @@
 // is reported as Result.AvgPlanTime.
 //
 // Engine state is single-goroutine; an Engine must not be shared across
-// goroutines.
+// goroutines. Planners may fan their planning instant out across an internal
+// worker pool (see assign.Options.Parallelism) — that concurrency is
+// confined to the Plan call and deterministic, so the engine's semantics are
+// unchanged; Config.Parallelism threads the knob through to planners that
+// support it.
 package stream
 
 import (
@@ -48,7 +52,19 @@ type Config struct {
 	Step float64
 	// Travel must match the planner's travel model.
 	Travel geo.TravelModel
+	// Parallelism, when non-zero, is forwarded to planners implementing
+	// SetParallelism (assign.Search): the number of goroutines a planning
+	// instant may fan out across. Plans are identical at every setting;
+	// only the paper's CPU-time metric changes. NewEngine writes the value
+	// into the (caller-owned) planner, so a planner shared between engines
+	// with different settings keeps the last one applied — give each
+	// engine its own planner when that matters.
+	Parallelism int
 }
+
+// parallelConfigurable is satisfied by planners whose planning instant can
+// fan out across RTC components (assign.Search).
+type parallelConfigurable interface{ SetParallelism(int) }
 
 func (c Config) withDefaults() Config {
 	if c.Step <= 0 {
@@ -135,6 +151,11 @@ type Engine struct {
 // copied so position updates stay internal).
 func NewEngine(in Input, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	if cfg.Parallelism != 0 {
+		if p, ok := cfg.Planner.(parallelConfigurable); ok {
+			p.SetParallelism(cfg.Parallelism)
+		}
+	}
 	workers := make([]*core.Worker, len(in.Workers))
 	for i, w := range in.Workers {
 		cp := *w

@@ -283,3 +283,19 @@ func TestLateArrivingWorkerServes(t *testing.T) {
 		t.Errorf("assigned = %d, want 1 (worker arrives at 100)", res.Assigned)
 	}
 }
+
+func TestConfigParallelismReachesPlanner(t *testing.T) {
+	s := &assign.Search{}
+	in := Input{T0: 0, T1: 1}
+	NewEngine(in, Config{Planner: s, Parallelism: 3})
+	if s.Opts.Parallelism != 3 {
+		t.Fatalf("Parallelism = %d, want 3 (threaded through SetParallelism)", s.Opts.Parallelism)
+	}
+	// Zero leaves the planner's own setting alone.
+	s2 := &assign.Search{}
+	s2.Opts.Parallelism = 1
+	NewEngine(in, Config{Planner: s2})
+	if s2.Opts.Parallelism != 1 {
+		t.Fatalf("Parallelism = %d, want untouched 1", s2.Opts.Parallelism)
+	}
+}

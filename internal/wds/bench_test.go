@@ -1,11 +1,13 @@
 package wds
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/spatial"
 )
 
 func benchInstance(nWorkers, nTasks int) ([]*core.Worker, []*core.Task) {
@@ -59,5 +61,98 @@ func BenchmarkReachableTasks(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ReachableTasks(ws[0], ts, 0, o)
+	}
+}
+
+// scaledInstance builds a scattered population at constant spatial density
+// (≈13 tasks per km², ≈10 tasks per reach disc), so per-worker local work
+// stays fixed while the pool grows — the regime where the grid index turns
+// per-instant reachability from O(|W|·|T|) into O(|W|·k).
+func scaledInstance(nWorkers, nTasks int) ([]*core.Worker, []*core.Task) {
+	r := rand.New(rand.NewSource(11))
+	span := math.Sqrt(float64(nTasks) / 13.0)
+	var ws []*core.Worker
+	for i := 0; i < nWorkers; i++ {
+		ws = append(ws, &core.Worker{
+			ID: i + 1, Loc: geo.Point{X: r.Float64() * span, Y: r.Float64() * span},
+			Reach: 0.5, On: 0, Off: 1e5,
+		})
+	}
+	var ts []*core.Task
+	for i := 0; i < nTasks; i++ {
+		ts = append(ts, &core.Task{
+			ID: i + 1, Loc: geo.Point{X: r.Float64() * span, Y: r.Float64() * span},
+			Pub: 0, Exp: 1e5, Cell: -1,
+		})
+	}
+	return ws, ts
+}
+
+// BenchmarkSeparateScale compares the spatial-grid reachability path against
+// the brute-force scan across planning-instant sizes (total entities =
+// workers + tasks at a 1:4 ratio). The indexed and brute paths produce
+// identical Separations; only cost differs.
+func BenchmarkSeparateScale(b *testing.B) {
+	scales := []struct {
+		name             string
+		nWorkers, nTasks int
+	}{
+		{"1k", 200, 800},
+		{"5k", 1000, 4000},
+		{"20k", 4000, 16000},
+	}
+	o := Options{Travel: geo.NewTravelModel(0.005), Parallelism: 1, MaxSeqLen: 2}
+	for _, sc := range scales {
+		ws, ts := scaledInstance(sc.nWorkers, sc.nTasks)
+		b.Run(sc.name+"/indexed", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Separate(ws, ts, 0, o)
+			}
+		})
+		b.Run(sc.name+"/brute", func(b *testing.B) {
+			bo := o
+			bo.BruteForce = true
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Separate(ws, ts, 0, bo)
+			}
+		})
+	}
+}
+
+// BenchmarkReachableScale isolates per-instant reachability — every worker's
+// RS_w over the full pool — which the grid index turns from O(|W|·|T|) into
+// O(|W|·k). The indexed timing includes building the index, as Separate
+// rebuilds it each planning instant.
+func BenchmarkReachableScale(b *testing.B) {
+	scales := []struct {
+		name             string
+		nWorkers, nTasks int
+	}{
+		{"1k", 200, 800},
+		{"5k", 1000, 4000},
+		{"20k", 4000, 16000},
+	}
+	o := Options{Travel: geo.NewTravelModel(0.005)}.WithDefaults()
+	for _, sc := range scales {
+		ws, ts := scaledInstance(sc.nWorkers, sc.nTasks)
+		b.Run(sc.name+"/indexed", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix := spatial.NewIndex(ts, spatial.CellSizeForReach(ws))
+				for _, w := range ws {
+					ReachableTasksIndexed(w, ix, 0, o)
+				}
+			}
+		})
+		b.Run(sc.name+"/brute", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, w := range ws {
+					ReachableTasks(w, ts, 0, o)
+				}
+			}
+		})
 	}
 }

@@ -13,6 +13,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/graphutil"
+	"repro/internal/par"
+	"repro/internal/spatial"
 )
 
 // Options bounds the search effort. Zero values take defaults chosen so a
@@ -23,10 +25,21 @@ type Options struct {
 	// MaxSeqLen caps the length of generated task sequences (default 3).
 	MaxSeqLen int
 	// MaxReachable caps the reachable set per worker to the nearest tasks
-	// (default 8); the dependency graph still uses the uncapped sets.
+	// (default 8); the dependency graph and the sequence generator both
+	// operate on the capped sets.
 	MaxReachable int
 	// MaxSequences caps |Q_w| per worker after dedup (default 128).
 	MaxSequences int
+	// Parallelism bounds the goroutines used for the per-worker
+	// reachable-set and sequence-generation loop inside Separate: 0 uses
+	// one goroutine per CPU, 1 (or any negative value) runs serially.
+	// Results are identical at every setting.
+	Parallelism int
+	// BruteForce disables the spatial grid index inside Separate, scanning
+	// the full task pool per worker instead. Kept for ablation and for the
+	// indexed-versus-brute-force benchmarks; answers are identical either
+	// way.
+	BruteForce bool
 }
 
 // WithDefaults returns o with zero fields replaced by defaults.
@@ -55,8 +68,33 @@ func (o Options) WithDefaults() Options {
 //
 // The result is sorted by distance (ties by id) and capped at
 // o.MaxReachable entries.
+//
+// This variant scans the given slice; Separate and ReachableTasksIndexed
+// answer the same query through a spatial grid index, scanning only the
+// tasks near w, with identical results.
 func ReachableTasks(w *core.Worker, tasks []*core.Task, now float64, o Options) []*core.Task {
+	return reachableFrom(w, tasks, now, o.WithDefaults())
+}
+
+// ReachableTasksIndexed returns RS_w exactly as ReachableTasks does, but
+// gathers candidates from the grid index instead of scanning every task:
+// only tasks within w.Reach of w.Loc are examined, so the per-worker cost is
+// O(k) in the local task count rather than O(|T|).
+func ReachableTasksIndexed(w *core.Worker, ix *spatial.Index, now float64, o Options) []*core.Task {
 	o = o.WithDefaults()
+	if !w.Available(now) {
+		return nil
+	}
+	// Condition (iii) bounds every reachable task to the disc of radius
+	// w.Reach; conditions (i)/(ii) only filter further.
+	return reachableFrom(w, ix.Within(w.Loc, w.Reach), now, o)
+}
+
+// reachableFrom applies the Section IV-A.1 constraints to a candidate pool.
+// Candidates must be a superset of the disc of radius w.Reach around w.Loc
+// intersected with the pool the caller reasons about; the exact filter here
+// makes the brute-force and indexed paths interchangeable.
+func reachableFrom(w *core.Worker, cands []*core.Task, now float64, o Options) []*core.Task {
 	if !w.Available(now) {
 		return nil
 	}
@@ -65,8 +103,8 @@ func ReachableTasks(w *core.Worker, tasks []*core.Task, now float64, o Options) 
 		t *core.Task
 		d float64
 	}
-	var cands []cand
-	for _, s := range tasks {
+	var keep []cand
+	for _, s := range cands {
 		if s.Exp <= now {
 			continue
 		}
@@ -81,19 +119,19 @@ func ReachableTasks(w *core.Worker, tasks []*core.Task, now float64, o Options) 
 		if d > w.Reach {
 			continue // (iii)
 		}
-		cands = append(cands, cand{s, d})
+		keep = append(keep, cand{s, d})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].d != cands[j].d {
-			return cands[i].d < cands[j].d
+	sort.Slice(keep, func(i, j int) bool {
+		if keep[i].d != keep[j].d {
+			return keep[i].d < keep[j].d
 		}
-		return cands[i].t.ID < cands[j].t.ID
+		return keep[i].t.ID < keep[j].t.ID
 	})
-	if len(cands) > o.MaxReachable {
-		cands = cands[:o.MaxReachable]
+	if len(keep) > o.MaxReachable {
+		keep = keep[:o.MaxReachable]
 	}
-	out := make([]*core.Task, len(cands))
-	for i, c := range cands {
+	out := make([]*core.Task, len(keep))
+	for i, c := range keep {
 		out[i] = c.t
 	}
 	return out
@@ -237,6 +275,12 @@ func (n *TreeNode) Depth() int {
 // at time now: reachable sets, maximal valid sequences, worker dependency
 // graph (workers are dependent iff they share a reachable task, Section
 // IV-A.2), MCS clique partition and RTC tree construction (IV-A.3/IV-A.4).
+//
+// Reachability is answered through a spatial grid index over the task pool
+// (cell size derived from the largest worker reach; see internal/spatial)
+// unless o.BruteForce is set, and the per-worker reachable-set and sequence
+// loop fans out across o.Parallelism goroutines. Both switches change only
+// the cost of the call — the Separation is identical at every setting.
 func Separate(workers []*core.Worker, tasks []*core.Task, now float64, o Options) *Separation {
 	o = o.WithDefaults()
 	sep := &Separation{
@@ -244,10 +288,27 @@ func Separate(workers []*core.Worker, tasks []*core.Task, now float64, o Options
 		Reachable: make(map[int][]*core.Task, len(workers)),
 		Sequences: make(map[int][]core.Sequence, len(workers)),
 	}
-	for _, w := range workers {
-		rs := ReachableTasks(w, tasks, now, o)
-		sep.Reachable[w.ID] = rs
-		sep.Sequences[w.ID] = MaximalValidSequences(w, rs, now, o)
+	var ix *spatial.Index
+	if !o.BruteForce {
+		ix = spatial.NewIndex(tasks, spatial.CellSizeForReach(workers))
+	}
+	// Each worker's RS_w and Q_w depend only on that worker and the shared
+	// read-only pool, so the loop is embarrassingly parallel; results land
+	// in per-index slots and the maps are filled afterwards.
+	rs := make([][]*core.Task, len(workers))
+	qs := make([][]core.Sequence, len(workers))
+	par.Do(len(workers), o.Parallelism, func(i int) {
+		w := workers[i]
+		if ix != nil {
+			rs[i] = ReachableTasksIndexed(w, ix, now, o)
+		} else {
+			rs[i] = reachableFrom(w, tasks, now, o)
+		}
+		qs[i] = MaximalValidSequences(w, rs[i], now, o)
+	})
+	for i, w := range workers {
+		sep.Reachable[w.ID] = rs[i]
+		sep.Sequences[w.ID] = qs[i]
 	}
 
 	// Dependency graph: invert the reachable relation task → workers, then
@@ -268,48 +329,100 @@ func Separate(workers []*core.Worker, tasks []*core.Task, now float64, o Options
 		}
 	}
 
+	builder := newTreeBuilder(sep.Graph)
 	for _, comp := range sep.Graph.Components(nil) {
-		sep.Forest = append(sep.Forest, buildTree(sep.Graph, comp, workers))
+		sep.Forest = append(sep.Forest, builder.build(comp, workers))
 	}
 	return sep
 }
 
-// buildTree applies the RTC algorithm (Section IV-A.4) to one connected
+// treeBuilder carries the RTC construction state for one dependency graph: a
+// CSR copy of the adjacency (sorted neighbor slices beat per-edge map
+// iteration in the clique-probing BFS) and dense scratch reused across every
+// node of every tree, so probing a clique costs O(component + edges) with no
+// allocations beyond the result.
+type treeBuilder struct {
+	g       *graphutil.Graph
+	offs    []int32
+	nbrs    []int32
+	inComp  []bool
+	removed []bool
+	seen    []bool
+	queue   []int32
+}
+
+func newTreeBuilder(g *graphutil.Graph) *treeBuilder {
+	n := g.N()
+	b := &treeBuilder{
+		g:       g,
+		offs:    make([]int32, n+1),
+		inComp:  make([]bool, n),
+		removed: make([]bool, n),
+		seen:    make([]bool, n),
+	}
+	for v := 0; v < n; v++ {
+		b.offs[v+1] = b.offs[v] + int32(g.Degree(v))
+	}
+	b.nbrs = make([]int32, b.offs[n])
+	for v := 0; v < n; v++ {
+		for i, u := range g.Neighbors(v) {
+			b.nbrs[b.offs[v]+int32(i)] = int32(u)
+		}
+	}
+	return b
+}
+
+// build applies the RTC algorithm (Section IV-A.4) to one connected
 // component: partition into maximal cliques via MCS on the chordal
 // completion, install the clique whose removal yields the most components
 // as the root, and recurse on each remaining component.
-func buildTree(g *graphutil.Graph, comp []int, workers []*core.Worker) *TreeNode {
+func (b *treeBuilder) build(comp []int, workers []*core.Worker) *TreeNode {
 	if len(comp) == 0 {
 		return nil
 	}
-	chordal, peo := g.FillIn(comp)
+	chordal, peo := b.g.FillIn(comp)
 	cliques := graphutil.MaximalCliquesChordal(chordal, peo)
 
-	inComp := make(map[int]bool, len(comp))
 	for _, v := range comp {
-		inComp[v] = true
+		b.inComp[v] = true
 	}
 
 	// Choose X′ maximizing the number of remaining components; ties prefer
 	// the larger clique (smaller residual work), then lexicographic order.
+	// Probing a clique only needs the residual component COUNT; the full
+	// component lists are materialized once, for the winner.
 	bestIdx, bestComps := -1, -1
-	var bestResidual [][]int
 	for ci, clique := range cliques {
-		removed := make(map[int]bool, len(clique))
 		for _, v := range clique {
-			removed[v] = true
+			b.removed[v] = true
 		}
-		residual := g.Components(func(v int) bool { return inComp[v] && !removed[v] })
+		count, _ := b.residual(comp, false)
+		for _, v := range clique {
+			b.removed[v] = false
+		}
 		better := false
 		switch {
-		case len(residual) > bestComps:
+		case count > bestComps:
 			better = true
-		case len(residual) == bestComps && bestIdx >= 0 && len(clique) > len(cliques[bestIdx]):
+		case count == bestComps && bestIdx >= 0 && len(clique) > len(cliques[bestIdx]):
 			better = true
 		}
 		if bestIdx < 0 || better {
-			bestIdx, bestComps, bestResidual = ci, len(residual), residual
+			bestIdx, bestComps = ci, count
 		}
+	}
+	for _, v := range cliques[bestIdx] {
+		b.removed[v] = true
+	}
+	_, bestResidual := b.residual(comp, true)
+	for _, v := range cliques[bestIdx] {
+		b.removed[v] = false
+	}
+
+	// Release the component flags before recursing: children mark their own
+	// (smaller) membership sets in the same scratch.
+	for _, v := range comp {
+		b.inComp[v] = false
 	}
 
 	node := &TreeNode{}
@@ -318,9 +431,54 @@ func buildTree(g *graphutil.Graph, comp []int, workers []*core.Worker) *TreeNode
 	}
 	sort.Slice(node.Workers, func(i, j int) bool { return node.Workers[i].ID < node.Workers[j].ID })
 	for _, sub := range bestResidual {
-		if child := buildTree(g, sub, workers); child != nil {
+		if child := b.build(sub, workers); child != nil {
 			node.Children = append(node.Children, child)
 		}
 	}
 	return node
+}
+
+// residual runs the BFS over comp minus the currently removed vertices and
+// returns the component count; with collect set it also materializes the
+// components — each ascending, ordered by smallest vertex, the format
+// graphutil.Components produces (comp is sorted, so seeding the BFS in comp
+// order yields that ordering directly). The clique-selection loop probes
+// with collect=false and materializes only the winner, so both uses share
+// one traversal body and cannot drift apart.
+func (b *treeBuilder) residual(comp []int, collect bool) (int, [][]int) {
+	count := 0
+	var comps [][]int
+	var touched []int32
+	for _, s := range comp {
+		if b.seen[s] || b.removed[s] {
+			continue
+		}
+		count++
+		var cc []int
+		b.queue = append(b.queue[:0], int32(s))
+		b.seen[s] = true
+		touched = append(touched, int32(s))
+		for len(b.queue) > 0 {
+			v := b.queue[0]
+			b.queue = b.queue[1:]
+			if collect {
+				cc = append(cc, int(v))
+			}
+			for _, u := range b.nbrs[b.offs[v]:b.offs[v+1]] {
+				if b.inComp[u] && !b.removed[u] && !b.seen[u] {
+					b.seen[u] = true
+					touched = append(touched, u)
+					b.queue = append(b.queue, u)
+				}
+			}
+		}
+		if collect {
+			sort.Ints(cc)
+			comps = append(comps, cc)
+		}
+	}
+	for _, v := range touched {
+		b.seen[v] = false
+	}
+	return count, comps
 }

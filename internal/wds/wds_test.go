@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/spatial"
 )
 
 var opts = Options{Travel: geo.NewTravelModel(0.01)} // 10 m/s
@@ -361,5 +362,120 @@ func TestOptionsDefaults(t *testing.T) {
 	o2 := Options{MaxSeqLen: 9}.WithDefaults()
 	if o2.MaxSeqLen != 9 {
 		t.Error("explicit value clobbered")
+	}
+}
+
+// randomInstance builds a reproducible scattered worker/task population.
+func randomInstance(seed int64, nWorkers, nTasks int, span float64) ([]*core.Worker, []*core.Task) {
+	r := rand.New(rand.NewSource(seed))
+	var ws []*core.Worker
+	for i := 0; i < nWorkers; i++ {
+		ws = append(ws, worker(i+1, r.Float64()*span, r.Float64()*span,
+			0.2+r.Float64()*0.8, 0, 200+r.Float64()*800))
+	}
+	var ts []*core.Task
+	for i := 0; i < nTasks; i++ {
+		ts = append(ts, task(i+1, r.Float64()*span, r.Float64()*span, 0, 100+r.Float64()*900))
+	}
+	return ws, ts
+}
+
+// sameSeparation asserts two separations agree on reachable sets, sequences,
+// and forest structure.
+func sameSeparation(t *testing.T, a, b *Separation) {
+	t.Helper()
+	for _, w := range a.Workers {
+		ra, rb := a.Reachable[w.ID], b.Reachable[w.ID]
+		if len(ra) != len(rb) {
+			t.Fatalf("worker %d: reachable %d vs %d", w.ID, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i].ID != rb[i].ID {
+				t.Fatalf("worker %d: reachable[%d] = %d vs %d", w.ID, i, ra[i].ID, rb[i].ID)
+			}
+		}
+		qa, qb := a.Sequences[w.ID], b.Sequences[w.ID]
+		if len(qa) != len(qb) {
+			t.Fatalf("worker %d: |Q| %d vs %d", w.ID, len(qa), len(qb))
+		}
+		for i := range qa {
+			ia, ib := qa[i].IDs(), qb[i].IDs()
+			if len(ia) != len(ib) {
+				t.Fatalf("worker %d: Q[%d] length differs", w.ID, i)
+			}
+			for j := range ia {
+				if ia[j] != ib[j] {
+					t.Fatalf("worker %d: Q[%d][%d] = %d vs %d", w.ID, i, j, ia[j], ib[j])
+				}
+			}
+		}
+	}
+	if len(a.Forest) != len(b.Forest) {
+		t.Fatalf("forest size %d vs %d", len(a.Forest), len(b.Forest))
+	}
+	var flatten func(n *TreeNode) []int
+	flatten = func(n *TreeNode) []int {
+		var ids []int
+		for _, w := range n.Workers {
+			ids = append(ids, w.ID)
+		}
+		ids = append(ids, -1) // structure marker
+		for _, c := range n.Children {
+			ids = append(ids, flatten(c)...)
+		}
+		return ids
+	}
+	for i := range a.Forest {
+		fa, fb := flatten(a.Forest[i]), flatten(b.Forest[i])
+		if len(fa) != len(fb) {
+			t.Fatalf("tree %d shape differs", i)
+		}
+		for j := range fa {
+			if fa[j] != fb[j] {
+				t.Fatalf("tree %d node %d: %d vs %d", i, j, fa[j], fb[j])
+			}
+		}
+	}
+}
+
+func TestSeparateIndexedMatchesBruteForce(t *testing.T) {
+	for _, seed := range []int64{7, 19, 51} {
+		ws, ts := randomInstance(seed, 60, 300, 5)
+		indexed := Separate(ws, ts, 0, opts)
+		brute := func() Options { o := opts; o.BruteForce = true; return o }()
+		sameSeparation(t, indexed, Separate(ws, ts, 0, brute))
+	}
+}
+
+func TestSeparateParallelMatchesSerial(t *testing.T) {
+	ws, ts := randomInstance(77, 80, 400, 6)
+	serial := func() Options { o := opts; o.Parallelism = 1; return o }()
+	for _, p := range []int{2, 4, 0} {
+		par := func() Options { o := opts; o.Parallelism = p; return o }()
+		sameSeparation(t, Separate(ws, ts, 0, serial), Separate(ws, ts, 0, par))
+	}
+}
+
+func TestReachableTasksIndexedMatches(t *testing.T) {
+	ws, ts := randomInstance(91, 30, 250, 4)
+	ix := spatial.NewIndex(ts, spatial.CellSizeForReach(ws))
+	for _, w := range ws {
+		a := ReachableTasks(w, ts, 0, opts)
+		b := ReachableTasksIndexed(w, ix, 0, opts)
+		if len(a) != len(b) {
+			t.Fatalf("worker %d: %d vs %d reachable", w.ID, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("worker %d: reachable[%d] = %d vs %d", w.ID, i, a[i].ID, b[i].ID)
+			}
+		}
+	}
+	// Zero-reach worker: only colocated tasks, via both paths.
+	zw := worker(999, ts[0].Loc.X, ts[0].Loc.Y, 0, 0, 1e5)
+	a := ReachableTasks(zw, ts, 0, opts)
+	b := ReachableTasksIndexed(zw, ix, 0, opts)
+	if len(a) != len(b) {
+		t.Fatalf("zero-reach worker: %d vs %d", len(a), len(b))
 	}
 }
