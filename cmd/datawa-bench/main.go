@@ -7,12 +7,20 @@
 //	datawa-bench -list
 //	datawa-bench -run fig7 -scale standard
 //	datawa-bench -run all -scale quick -csv out/
+//	datawa-bench -run fig7 -scale quick -json BENCH_fig7.json
 //
 // Scales: quick (seconds per experiment), standard (minutes; the default),
 // full (paper cardinalities; hours for the whole suite).
+//
+// -json writes one machine-readable document covering the whole run — scale
+// settings plus every table's header and rows (method, assigned, CPU per
+// instant, swept entity counts) — so successive BENCH_*.json files can track
+// the result trajectory across commits. "-" writes the document to stdout
+// and suppresses the text tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +37,7 @@ func main() {
 		run      = flag.String("run", "", "experiment id to run, or 'all'")
 		scale    = flag.String("scale", "standard", "quick | standard | full")
 		csvDir   = flag.String("csv", "", "also write <id>.csv files into this directory")
+		jsonPath = flag.String("json", "", "write machine-readable results to this file (\"-\" = stdout)")
 		points   = flag.Int("points", 0, "override sweep points per parameter (0 = all)")
 		parallel = flag.Int("parallelism", 0, "planner fan-out per instant (0 = one goroutine per CPU, 1 = serial)")
 	)
@@ -74,11 +83,15 @@ func main() {
 		todo = []experiments.Experiment{e}
 	}
 
+	quiet := *jsonPath == "-"
+	report := jsonReport{Scale: *scale, SweepPoints: s.SweepPoints, Parallelism: s.Parallelism}
 	for _, e := range todo {
 		start := time.Now()
 		tables := e.Run(s)
 		for _, t := range tables {
-			fmt.Println(t.String())
+			if !quiet {
+				fmt.Println(t.String())
+			}
 			if *csvDir != "" {
 				if err := writeCSV(*csvDir, t); err != nil {
 					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
@@ -86,8 +99,51 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID: e.ID, Title: e.Title, ElapsedMS: elapsed.Milliseconds(), Tables: tables,
+		})
+		if !quiet {
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
+		}
 	}
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, report); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// jsonReport is the -json document: one run of the suite, every table
+// included verbatim (header + rows carry method, assigned count, CPU per
+// instant, and the swept entity values), plus the scale settings that
+// produced it, so BENCH_*.json files are comparable across commits.
+type jsonReport struct {
+	Scale       string           `json:"scale"`
+	SweepPoints int              `json:"sweep_points,omitempty"`
+	Parallelism int              `json:"parallelism,omitempty"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID        string               `json:"id"`
+	Title     string               `json:"title"`
+	ElapsedMS int64                `json:"elapsed_ms"`
+	Tables    []*experiments.Table `json:"tables"`
+}
+
+func writeReport(path string, r jsonReport) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 func writeCSV(dir string, t *experiments.Table) error {

@@ -14,19 +14,21 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/par"
 	"repro/internal/predict"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "yueche", "yueche | didi")
-		deltaT  = flag.Float64("deltat", 5, "time interval deltaT in seconds (paper sweeps 5..9)")
-		k       = flag.Int("k", 3, "intervals per series vector (k > 1)")
-		window  = flag.Int("window", 8, "history vectors per training window")
-		epochs  = flag.Int("epochs", 15, "training epochs")
-		scale   = flag.Float64("scale", 0.15, "workload scale factor in (0,1]")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
+		dataset  = flag.String("dataset", "yueche", "yueche | didi")
+		deltaT   = flag.Float64("deltat", 5, "time interval deltaT in seconds (paper sweeps 5..9)")
+		k        = flag.Int("k", 3, "intervals per series vector (k > 1)")
+		window   = flag.Int("window", 8, "history vectors per training window")
+		epochs   = flag.Int("epochs", 15, "training epochs")
+		scale    = flag.Float64("scale", 0.15, "workload scale factor in (0,1]")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		parallel = flag.Int("parallelism", 1, "train/evaluate this many models concurrently (0 = one goroutine per CPU; >1 skews the wall-time columns)")
 	)
 	flag.Parse()
 
@@ -57,11 +59,17 @@ func main() {
 		predict.NewGraphWaveNet(sc.Grid.Cells(), *k, 16, 8, tc),
 		predict.NewDDGNN(predict.DDGNNConfig{K: *k, Hidden: 16, Embed: 8, Train: tc}),
 	}
+	// Each model trains on its own state, so evaluation fans out across the
+	// bounded pool; results land in per-index slots and print in model order.
+	results := make([]predict.EvalResult, len(models))
+	errs := make([]error, len(models))
+	par.Do(len(models), *parallel, func(i int) {
+		results[i], errs[i] = predict.Evaluate(models[i], train, test)
+	})
 	fmt.Printf("%-15s %8s %12s %12s\n", "model", "AP", "train_time", "test_time")
-	for _, m := range models {
-		res, err := predict.Evaluate(m, train, test)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+	for i, res := range results {
+		if errs[i] != nil {
+			fmt.Fprintln(os.Stderr, errs[i])
 			os.Exit(1)
 		}
 		fmt.Printf("%-15s %8.3f %12v %12v\n", res.Model, res.AP, res.TrainTime.Round(1e6), res.TestTime)

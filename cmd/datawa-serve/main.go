@@ -1,0 +1,147 @@
+// Command datawa-serve runs the live dispatch service: a long-running
+// assignment engine that ingests workers and tasks over an HTTP/JSON API,
+// plans in fixed epochs sharded across the demand grid, and reports
+// assigned/expired counts and epoch latency percentiles at /v1/metrics.
+//
+// Usage:
+//
+//	datawa-serve -addr :8080 -method DTA -shards 4
+//	datawa-serve -method DATA-WA -pretrain yueche -pretrain-scale 0.1
+//
+// API (see internal/dispatch.Handler for the wire formats):
+//
+//	POST /v1/workers            worker online     {id, x, y, reach, avail}
+//	POST /v1/workers/offline    worker offline    {id}
+//	POST /v1/workers/heartbeat  position update   {id, x, y}
+//	POST /v1/tasks              submit task       {id?, x, y, valid}
+//	POST /v1/tasks/cancel       cancel task       {id}
+//	GET  /v1/plan?worker=ID     current schedule
+//	GET  /v1/metrics            snapshot
+//	GET  /healthz               liveness
+//
+// The logical clock advances one Step every Step/timescale wall seconds:
+// -timescale 60 replays a minute of scenario time per wall second.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/dispatch"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		method    = flag.String("method", "DTA", strings.Join(methodNames(), " | "))
+		shards    = flag.Int("shards", 4, "region shards planned in parallel")
+		step      = flag.Float64("step", 1, "epoch length in logical seconds")
+		timescale = flag.Float64("timescale", 1, "logical seconds per wall second")
+		speed     = flag.Float64("speed", 0.01, "worker travel speed in km/s")
+		minX      = flag.Float64("minx", 0, "region min x (km)")
+		minY      = flag.Float64("miny", 0, "region min y (km)")
+		maxX      = flag.Float64("maxx", 4, "region max x (km)")
+		maxY      = flag.Float64("maxy", 4, "region max y (km)")
+		rows      = flag.Int("rows", 6, "demand grid rows")
+		cols      = flag.Int("cols", 6, "demand grid cols")
+		parallel  = flag.Int("parallelism", 0, "planner fan-out (0 = one goroutine per CPU)")
+		queue     = flag.Int("queue", 4096, "ingest queue capacity")
+		pretrain  = flag.String("pretrain", "", "train demand/value models on a synthetic scenario first: yueche | didi")
+		preScale  = flag.Float64("pretrain-scale", 0.1, "pretraining workload scale factor in (0,1]")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	fw := datawa.New(datawa.Config{
+		SpeedKmPerSec: *speed,
+		Region:        datawa.Rect{MinX: *minX, MinY: *minY, MaxX: *maxX, MaxY: *maxY},
+		GridRows:      *rows, GridCols: *cols,
+		Step: *step, Parallelism: *parallel, Seed: *seed,
+	})
+
+	m := datawa.Method(*method)
+	needsDemand := m == datawa.MethodDTATP || m == datawa.MethodDATAWA
+	if needsDemand {
+		if *pretrain == "" {
+			fmt.Fprintf(os.Stderr, "method %s needs trained models: pass -pretrain yueche|didi\n", m)
+			os.Exit(2)
+		}
+		var cfg datawa.ScenarioConfig
+		switch strings.ToLower(*pretrain) {
+		case "yueche":
+			cfg = datawa.YuecheScenario()
+		case "didi":
+			cfg = datawa.DiDiScenario()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown pretrain dataset %q\n", *pretrain)
+			os.Exit(2)
+		}
+		cfg = cfg.Scaled(*preScale)
+		cfg.Seed = *seed
+		sc := datawa.GenerateScenario(cfg)
+		fmt.Printf("pretraining demand model on %s history (%d tasks) ...\n", cfg.Name, len(sc.History))
+		if err := fw.TrainDemand(sc.History); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if m == datawa.MethodDATAWA {
+			fmt.Println("pretraining task value function ...")
+			if err := fw.TrainValue(sc.Workers, sc.Tasks, 8); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	d, err := fw.NewDispatcher(m, datawa.DispatchConfig{
+		Shards: *shards, Step: *step, QueueSize: *queue,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		if err := d.Serve(ctx, *timescale); err != nil && ctx.Err() == nil {
+			fmt.Fprintln(os.Stderr, "epoch loop:", err)
+			stop()
+		}
+	}()
+
+	srv := &http.Server{Addr: *addr, Handler: dispatch.NewHandler(d)}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("datawa-serve: method=%s shards=%d step=%.2gs timescale=%.2gx listening on %s\n",
+		m, *shards, *step, *timescale, *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	final := d.Snapshot()
+	fmt.Printf("final: epochs=%d assigned=%d expired=%d cancelled=%d p50=%v p99=%v\n",
+		final.Epochs, final.Assigned, final.Expired, final.Cancelled, final.EpochP50, final.EpochP99)
+}
+
+func methodNames() []string {
+	var out []string
+	for _, m := range datawa.Methods() {
+		out = append(out, string(m))
+	}
+	return out
+}

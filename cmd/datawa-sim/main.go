@@ -19,11 +19,12 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "yueche", "yueche | didi")
-		method  = flag.String("method", "DATA-WA", strings.Join(methodNames(), " | "))
-		scale   = flag.Float64("scale", 0.15, "workload scale factor in (0,1]")
-		step    = flag.Float64("step", 2, "replan interval in seconds")
-		seed    = flag.Int64("seed", 1, "deterministic seed")
+		dataset  = flag.String("dataset", "yueche", "yueche | didi")
+		method   = flag.String("method", "DATA-WA", strings.Join(methodNames(), " | "))
+		scale    = flag.Float64("scale", 0.15, "workload scale factor in (0,1]")
+		step     = flag.Float64("step", 2, "replan interval in seconds")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		parallel = flag.Int("parallelism", 0, "planner fan-out per instant (0 = one goroutine per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 	fw := datawa.New(datawa.Config{
 		Region:   cfg.Region,
 		GridRows: cfg.GridRows, GridCols: cfg.GridCols,
-		Step: *step, Seed: *seed,
+		Step: *step, Seed: *seed, Parallelism: *parallel,
 	})
 
 	m := datawa.Method(*method)

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/assign"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/geo"
 	"repro/internal/predict"
 	"repro/internal/stream"
@@ -53,7 +54,25 @@ type (
 	Scenario = workload.Scenario
 	// ScenarioConfig parameterizes the synthetic trace generators.
 	ScenarioConfig = workload.Config
+	// Dispatcher is the live dispatch service (see NewDispatcher).
+	Dispatcher = dispatch.Dispatcher
+	// DispatchMetrics is a dispatcher metrics snapshot.
+	DispatchMetrics = dispatch.Metrics
+	// DispatchEvent is one dispatcher ingest-queue entry.
+	DispatchEvent = dispatch.Event
 )
+
+// WorkerOnlineEvent builds the ingest event admitting w at its On instant,
+// for deterministic trace replay through Dispatcher.Ingest. For live
+// operation use Dispatcher.WorkerOnline, which stamps the current clock.
+func WorkerOnlineEvent(w *Worker) DispatchEvent {
+	return DispatchEvent{Time: w.On, Kind: dispatch.KindWorkerOnline, Worker: w}
+}
+
+// TaskSubmitEvent builds the ingest event publishing s at its Pub instant.
+func TaskSubmitEvent(s *Task) DispatchEvent {
+	return DispatchEvent{Time: s.Pub, Kind: dispatch.KindTaskSubmit, Task: s}
+}
 
 // Method selects one of the five assignment policies of Section V-B.2.
 type Method string
@@ -325,6 +344,12 @@ func (p *prefixedForecaster) Virtuals(published []*Task, now float64) []*Task {
 
 func (p *prefixedForecaster) Span() float64 { return p.inner.Span() }
 
+// HistorySpan implements stream.HistoryBounded: long-running drivers may
+// prune their published feed to the inner forecaster's window. The training
+// prefix is prepended on every call, so pruning only sheds runtime tasks the
+// model no longer reads.
+func (p *prefixedForecaster) HistorySpan() float64 { return p.inner.HistorySpan() }
+
 // Run drives the adaptive streaming algorithm (Algorithm 3) over the full
 // worker/task streams on the clock range [t0, t1) using the chosen method.
 // MethodDTATP and MethodDATAWA require a trained demand model;
@@ -360,6 +385,82 @@ func (f *Framework) Run(m Method, workers []*Worker, tasks []*Task, t0, t1 float
 		return Result{}, fmt.Errorf("datawa: unknown method %q", m)
 	}
 	return stream.Run(in, cfg), nil
+}
+
+// DispatchConfig parameterizes the live dispatch service built by
+// NewDispatcher. The zero value is usable: one shard, the framework's step
+// as the epoch length.
+type DispatchConfig struct {
+	// Shards is the number of region shards planned in parallel (default 1).
+	// Multiple shards require Config.Region to be set, since shard routing
+	// partitions the demand grid.
+	Shards int
+	// Step is the epoch length in logical seconds (default Config.Step).
+	Step float64
+	// Now is the initial logical clock — the first epoch instant. To replay
+	// a scenario trace equivalently to Run, set it to the trace's T0: the
+	// dispatcher plans at Now, Now+Step, …, so a T0 offset from Now shifts
+	// every planning instant and the outcomes diverge.
+	Now float64
+	// QueueSize bounds the ingest queue (default 4096).
+	QueueSize int
+	// LatencyWindow sizes the epoch-latency percentile window (default 1024).
+	LatencyWindow int
+}
+
+// NewDispatcher builds a live dispatch service running the chosen method:
+// the online counterpart of Run, fed by concurrent events instead of a
+// closed trace. Each shard receives its own planner (and forecaster, for the
+// prediction methods); MethodDTATP and MethodDATAWA require the same trained
+// models Run does. Drive the returned dispatcher with its Serve loop for
+// wall-clock operation, or Advance/Tick for deterministic replay.
+func (f *Framework) NewDispatcher(m Method, dc DispatchConfig) (*Dispatcher, error) {
+	if dc.Shards > 1 && (f.cfg.Region.Width() <= 0 || f.cfg.Region.Height() <= 0) {
+		return nil, fmt.Errorf("datawa: %d shards require a non-empty Config.Region", dc.Shards)
+	}
+	cfg := dispatch.Config{
+		Shards:        dc.Shards,
+		Step:          dc.Step,
+		Now:           dc.Now,
+		QueueSize:     dc.QueueSize,
+		LatencyWindow: dc.LatencyWindow,
+		Travel:        f.travel,
+		Parallelism:   f.cfg.Parallelism,
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = f.cfg.Step
+	}
+	if dc.Shards > 1 {
+		cfg.Grid = f.grid()
+	}
+	opts := f.assignOptions()
+	switch m {
+	case MethodGreedy:
+		cfg.NewPlanner = func(int) assign.Planner { return &assign.Greedy{Opts: opts} }
+	case MethodFTA:
+		cfg.NewPlanner = func(int) assign.Planner { return &assign.Search{Opts: opts} }
+		cfg.Fixed = true
+	case MethodDTA:
+		cfg.NewPlanner = func(int) assign.Planner { return &assign.Search{Opts: opts} }
+	case MethodDTATP:
+		if f.demand == nil {
+			return nil, fmt.Errorf("datawa: %s requires TrainDemand first", m)
+		}
+		cfg.NewPlanner = func(int) assign.Planner { return &assign.Search{Opts: opts} }
+		cfg.Forecast = f.forecaster()
+	case MethodDATAWA:
+		if f.demand == nil {
+			return nil, fmt.Errorf("datawa: %s requires TrainDemand first", m)
+		}
+		if f.value == nil {
+			return nil, fmt.Errorf("datawa: %s requires TrainValue first", m)
+		}
+		cfg.NewPlanner = func(int) assign.Planner { return &assign.Search{Opts: opts, Model: f.value} }
+		cfg.Forecast = f.forecaster()
+	default:
+		return nil, fmt.Errorf("datawa: unknown method %q", m)
+	}
+	return dispatch.New(cfg), nil
 }
 
 // YuecheScenario returns the synthetic stand-in for the paper's Yueche

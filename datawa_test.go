@@ -160,6 +160,74 @@ func TestScenarioGenerators(t *testing.T) {
 	}
 }
 
+func TestNewDispatcherMatchesRun(t *testing.T) {
+	s := smallScenario()
+	fw := frameworkFor(s)
+	ref, err := fw.Run(MethodDTA, s.Workers, s.Tasks, s.T0, s.T1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fw.NewDispatcher(MethodDTA, DispatchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range s.Workers {
+		d.Ingest(WorkerOnlineEvent(w))
+	}
+	for _, task := range s.Tasks {
+		d.Ingest(TaskSubmitEvent(task))
+	}
+	d.Advance(s.T1)
+	m := d.Snapshot()
+	if m.Assigned != ref.Assigned || m.Expired != ref.Expired {
+		t.Fatalf("dispatcher assigned/expired = %d/%d, Run = %d/%d",
+			m.Assigned, m.Expired, ref.Assigned, ref.Expired)
+	}
+}
+
+func TestNewDispatcherValidation(t *testing.T) {
+	fw := New(Config{}) // no region
+	if _, err := fw.NewDispatcher(MethodDTA, DispatchConfig{Shards: 4}); err == nil {
+		t.Error("multi-shard dispatcher without region should fail")
+	}
+	if _, err := fw.NewDispatcher(MethodDATAWA, DispatchConfig{}); err == nil {
+		t.Error("DATA-WA dispatcher without training should fail")
+	}
+	if _, err := fw.NewDispatcher(Method("bogus"), DispatchConfig{}); err == nil {
+		t.Error("unknown method should fail")
+	}
+}
+
+func TestNewDispatcherSharded(t *testing.T) {
+	s := smallScenario()
+	fw := New(Config{
+		Region:   s.Config.Region,
+		GridRows: s.Config.GridRows, GridCols: s.Config.GridCols,
+		Step: 2, Seed: 7,
+	})
+	d, err := fw.NewDispatcher(MethodGreedy, DispatchConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range s.Workers {
+		d.Ingest(WorkerOnlineEvent(w))
+	}
+	for _, task := range s.Tasks {
+		d.Ingest(TaskSubmitEvent(task))
+	}
+	d.Advance(s.T1)
+	m := d.Snapshot()
+	if len(m.Shards) != 4 {
+		t.Fatalf("snapshot reports %d shards, want 4", len(m.Shards))
+	}
+	if m.Assigned == 0 {
+		t.Error("sharded dispatcher assigned nothing")
+	}
+	if m.Unroutable != 0 {
+		t.Errorf("%d unroutable events", m.Unroutable)
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
 	if c.SpeedKmPerSec <= 0 || c.DeltaT != 5 || c.K != 3 || c.Threshold != 0.85 {

@@ -1,0 +1,48 @@
+package dispatch
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkReplayShards replays one Yueche-scaled trace end to end at
+// increasing shard counts, measured at the service boundary (ingest →
+// epochs → final snapshot) rather than inside the planner. At small scales
+// the per-epoch fan-out overhead dominates; the benchmark exists to track
+// where the crossover sits as workloads grow.
+func BenchmarkReplayShards(b *testing.B) {
+	cfg := workload.Yueche().Scaled(0.05)
+	cfg.HistoryDuration = 0
+	sc := workload.Generate(cfg)
+	events := sc.Events()
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := New(Config{
+					Shards:     shards,
+					Grid:       sc.Grid,
+					Step:       2,
+					Now:        sc.T0,
+					Travel:     travel,
+					NewPlanner: searchFactory(),
+				})
+				LoadGen{Events: events, T1: sc.T1}.Run(d)
+			}
+		})
+	}
+}
+
+// BenchmarkIngest measures the producer-side cost of one queue append.
+func BenchmarkIngest(b *testing.B) {
+	d := New(Config{Step: 1, NewPlanner: greedyFactory(), QueueSize: 1 << 20})
+	ev := Event{Time: 0, Kind: KindTaskCancel, ID: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%(1<<19) == 0 {
+			d.Tick() // drain so the queue never blocks
+		}
+		d.Ingest(ev)
+	}
+}

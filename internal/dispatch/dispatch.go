@@ -1,0 +1,610 @@
+// Package dispatch is the live counterpart of internal/stream: a long-running
+// assignment service that accepts concurrent events — worker online/offline,
+// task submit/cancel, position updates — through a buffered ingest queue,
+// batches them into planning epochs at a fixed cadence, and runs each epoch
+// through the existing planner stack. The region is sharded over the demand
+// grid, one stream.Machine per shard, and independent shards plan in parallel
+// via internal/par.
+//
+// Determinism contract: event routing is a pure function of the event (the
+// grid cell of the worker's online location or the task's location, taken
+// modulo the shard count; a worker keeps its shard for its whole session),
+// shard machines are deterministic, and per-epoch shard results land in
+// per-shard slots merged in shard order. A dispatcher fed one event stream
+// from a single producer therefore produces identical assignment state on
+// every run at every parallelism level — and with one shard it reproduces
+// stream.Engine's Assigned/Expired counts on the same trace, which the
+// package tests pin down.
+//
+// Ingestion (WorkerOnline, SubmitTask, …) is safe from any number of
+// goroutines and never touches planner state: producers only append to the
+// queue. All planning happens inside Advance/Tick under the dispatcher's
+// epoch lock, which Snapshot and PlanOf also take.
+package dispatch
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/par"
+	"repro/internal/stream"
+)
+
+// EventKind tags one ingest event.
+type EventKind int
+
+const (
+	// KindWorkerOnline admits a worker (Event.Worker).
+	KindWorkerOnline EventKind = iota
+	// KindWorkerOffline ends a worker's availability window (Event.ID).
+	KindWorkerOffline
+	// KindTaskSubmit publishes a task (Event.Task).
+	KindTaskSubmit
+	// KindTaskCancel withdraws an open task (Event.ID).
+	KindTaskCancel
+	// KindPosition reports an idle worker's position (Event.ID, Event.Loc).
+	KindPosition
+)
+
+// Event is one ingest-queue entry. Time is the logical instant the event
+// takes effect: it is applied at the first epoch t with Time ≤ t.
+type Event struct {
+	Time   float64
+	Kind   EventKind
+	Worker *core.Worker // KindWorkerOnline
+	Task   *core.Task   // KindTaskSubmit
+	ID     int          // KindWorkerOffline, KindTaskCancel, KindPosition
+	Loc    geo.Point    // KindPosition
+}
+
+// Config parameterizes a Dispatcher.
+type Config struct {
+	// Shards is the number of region shards (default 1). Each shard owns a
+	// deterministic subset of the grid's cells and runs its own planner.
+	Shards int
+	// Grid partitions the region into cells; cell % Shards is the owning
+	// shard. Required when Shards > 1.
+	Grid geo.Grid
+	// Step is the epoch length in logical seconds (default 1).
+	Step float64
+	// Now is the initial logical clock (the first epoch instant).
+	Now float64
+	// Travel must match the planners' travel model.
+	Travel geo.TravelModel
+	// Fixed selects FTA semantics (see stream.Config.Fixed).
+	Fixed bool
+	// NewPlanner builds the planner for one shard. Required. Planners are
+	// stateful, so each shard must get its own instance.
+	NewPlanner func(shard int) assign.Planner
+	// Forecast, when non-nil, injects virtual (predicted) tasks. Forecasting
+	// is global, not per shard: the model sees the full published stream —
+	// per-shard series would dilute demand counts below the materialization
+	// threshold — and each materialized virtual task is routed to the shard
+	// owning its cell. When the forecaster implements stream.HistoryBounded,
+	// older published tasks are pruned so the history feed stays bounded
+	// over the service's lifetime.
+	Forecast stream.Forecaster
+	// Parallelism bounds the goroutines planning one epoch's shards
+	// concurrently (0 = one per CPU, 1 = serial). Results are identical at
+	// every setting.
+	Parallelism int
+	// QueueSize is the ingest buffer capacity (default 4096). A producer
+	// hitting a full queue spills the backlog into the (unbounded) pending
+	// buffer under the epoch lock, so ingestion never drops events and
+	// never deadlocks — even for a single goroutine enqueuing a whole trace
+	// before the first epoch runs. Sustained overload therefore shows up as
+	// pending-buffer growth (Metrics.QueueDepth) and epoch latency, not as
+	// lost events.
+	QueueSize int
+	// LatencyWindow is how many recent epoch latencies feed the percentile
+	// snapshot (default 1024).
+	LatencyWindow int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Step <= 0 {
+		c.Step = 1
+	}
+	if c.Travel.Speed <= 0 {
+		c.Travel = geo.NewTravelModel(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4096
+	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 1024
+	}
+	return c
+}
+
+// ShardMetrics is one shard's slice of a metrics snapshot.
+type ShardMetrics struct {
+	Shard   int          `json:"shard"`
+	Workers int          `json:"workers"`
+	Open    int          `json:"open_tasks"`
+	Stats   stream.Stats `json:"stats"`
+}
+
+// Metrics is a point-in-time snapshot of the dispatcher.
+type Metrics struct {
+	// Now is the next epoch instant on the logical clock.
+	Now float64 `json:"now"`
+	// Epochs is the number of planning epochs executed.
+	Epochs int `json:"epochs"`
+	// Ingested counts events accepted onto the queue; Applied counts events
+	// that changed shard state; Unroutable counts events that had no effect
+	// — unknown or already-departed ids, and online/submit events
+	// duplicating a still-live id.
+	Ingested   int64 `json:"ingested"`
+	Applied    int64 `json:"applied"`
+	Unroutable int64 `json:"unroutable"`
+	// QueueDepth is the current ingest backlog (queued + drained-but-undue).
+	QueueDepth int `json:"queue_depth"`
+	// RoutedWorkers and RoutedTasks are the live routing-map sizes: workers
+	// currently active and tasks currently open, as the router sees them.
+	RoutedWorkers int `json:"routed_workers"`
+	RoutedTasks   int `json:"routed_tasks"`
+	// Assigned/Expired/Cancelled/Repositions aggregate all shards.
+	Assigned    int `json:"assigned"`
+	Expired     int `json:"expired"`
+	Cancelled   int `json:"cancelled"`
+	Repositions int `json:"repositions"`
+	// PlanCalls and PlanTime aggregate planner invocations across shards.
+	PlanCalls int           `json:"plan_calls"`
+	PlanTime  time.Duration `json:"plan_time_ns"`
+	// EpochP50/P95/P99 are epoch wall-latency percentiles over the last
+	// LatencyWindow epochs.
+	EpochP50 time.Duration `json:"epoch_p50_ns"`
+	EpochP95 time.Duration `json:"epoch_p95_ns"`
+	EpochP99 time.Duration `json:"epoch_p99_ns"`
+	// Shards breaks the counters down per shard, in shard order.
+	Shards []ShardMetrics `json:"shards"`
+}
+
+// Dispatcher is the live assignment service. Create with New, feed it events
+// (from any goroutine), and advance its epoch clock either manually (Advance,
+// Tick — deterministic, used by tests and LoadGen) or on wall time (Serve).
+type Dispatcher struct {
+	cfg   Config
+	queue chan Event
+
+	ingested   atomic.Int64
+	applied    atomic.Int64
+	unroutable atomic.Int64
+	nowBits    atomic.Uint64 // next epoch instant, for lock-free stamping
+
+	mu      sync.Mutex
+	pending eventHeap // drained from the queue, not yet due
+	seq     int64     // ingest-order tiebreak for pending
+	shards  []*stream.Machine
+	owner   map[int]int // worker id → shard
+	taskOf  map[int]int // task id → shard
+	clock   float64     // next epoch instant
+	epochs  int
+	lat     *latencyRing
+	// Global forecast state (Config.Forecast only).
+	published    []*core.Task
+	lastForecast float64
+}
+
+// New builds a dispatcher. It panics on an unusable configuration (missing
+// planner factory, or multiple shards without a grid) — both are programming
+// errors, not runtime conditions.
+func New(cfg Config) *Dispatcher {
+	cfg = cfg.withDefaults()
+	if cfg.NewPlanner == nil {
+		panic("dispatch: Config.NewPlanner is required")
+	}
+	if cfg.Shards > 1 && cfg.Grid.Cells() <= 0 {
+		panic("dispatch: Config.Grid is required when Shards > 1")
+	}
+	d := &Dispatcher{
+		cfg:    cfg,
+		queue:  make(chan Event, cfg.QueueSize),
+		shards: make([]*stream.Machine, cfg.Shards),
+		owner:  make(map[int]int),
+		taskOf: make(map[int]int),
+		clock:  cfg.Now,
+		lat:    newLatencyRing(cfg.LatencyWindow),
+	}
+	// Split the parallelism budget between the shard fan-out and each
+	// planner's internal fan-out: with multiple shards planning
+	// concurrently, a planner that also resolved the knob to one goroutine
+	// per CPU would oversubscribe the cores Shards-fold and inflate the very
+	// epoch latencies the service reports. Plans are parallelism-invariant
+	// by the planner contract, so only CPU time is affected.
+	perPlanner := 0
+	if cfg.Shards > 1 {
+		total := cfg.Parallelism
+		if total == 0 {
+			total = runtime.GOMAXPROCS(0)
+		}
+		perPlanner = total / par.Workers(cfg.Parallelism, cfg.Shards)
+		if perPlanner < 1 {
+			perPlanner = 1
+		}
+	}
+	for i := range d.shards {
+		planner := cfg.NewPlanner(i)
+		if p, ok := planner.(interface{ SetParallelism(int) }); ok && perPlanner > 0 {
+			p.SetParallelism(perPlanner)
+		}
+		// Machines get no forecaster of their own: virtuals come from the
+		// dispatcher-level forecast, routed by cell ownership.
+		d.shards[i] = stream.NewMachine(stream.MachineConfig{
+			Planner:       planner,
+			Fixed:         cfg.Fixed,
+			Travel:        cfg.Travel,
+			TrackRemovals: true,
+		})
+	}
+	d.lastForecast = math.Inf(-1)
+	d.nowBits.Store(math.Float64bits(cfg.Now))
+	return d
+}
+
+// Now returns the next epoch instant on the logical clock. Events ingested
+// through the convenience methods are stamped with it, so they take effect
+// at the next epoch.
+func (d *Dispatcher) Now() float64 {
+	return math.Float64frombits(d.nowBits.Load())
+}
+
+// Ingest enqueues one event with an explicit effect time. Safe for
+// concurrent use. When the queue is full the caller spills the backlog into
+// the pending buffer itself (taking the epoch lock), so a single goroutine
+// can enqueue arbitrarily many events without an intervening epoch.
+func (d *Dispatcher) Ingest(ev Event) {
+	for {
+		select {
+		case d.queue <- ev:
+			d.ingested.Add(1)
+			return
+		default:
+			d.mu.Lock()
+			d.drainLocked()
+			d.mu.Unlock()
+		}
+	}
+}
+
+// WorkerOnline admits a worker at the next epoch.
+func (d *Dispatcher) WorkerOnline(w *core.Worker) {
+	d.Ingest(Event{Time: d.Now(), Kind: KindWorkerOnline, Worker: w})
+}
+
+// WorkerOffline ends a worker's availability window at the next epoch.
+func (d *Dispatcher) WorkerOffline(id int) {
+	d.Ingest(Event{Time: d.Now(), Kind: KindWorkerOffline, ID: id})
+}
+
+// SubmitTask publishes a task at the next epoch.
+func (d *Dispatcher) SubmitTask(s *core.Task) {
+	d.Ingest(Event{Time: d.Now(), Kind: KindTaskSubmit, Task: s})
+}
+
+// CancelTask withdraws an open task at the next epoch.
+func (d *Dispatcher) CancelTask(id int) {
+	d.Ingest(Event{Time: d.Now(), Kind: KindTaskCancel, ID: id})
+}
+
+// Heartbeat reports a worker's position, applied at the next epoch when the
+// worker is idle.
+func (d *Dispatcher) Heartbeat(id int, loc geo.Point) {
+	d.Ingest(Event{Time: d.Now(), Kind: KindPosition, ID: id, Loc: loc})
+}
+
+// shardOf routes a location to its owning shard.
+func (d *Dispatcher) shardOf(p geo.Point) int {
+	if d.cfg.Shards == 1 {
+		return 0
+	}
+	return d.cfg.Grid.CellOf(p) % d.cfg.Shards
+}
+
+// Tick runs exactly one planning epoch at the current clock instant and
+// advances the clock one step.
+func (d *Dispatcher) Tick() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tickLocked()
+}
+
+// Advance runs epochs at the step cadence while the clock is before `to`
+// (exclusive, matching the engine's `for t := T0; t < T1` loop). Driving a
+// fresh dispatcher with Advance(T1) replays exactly the planning instants
+// stream.Engine executes on [Now, T1).
+func (d *Dispatcher) Advance(to float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.clock < to {
+		d.tickLocked()
+	}
+}
+
+// Serve drives epochs from wall time until the context is cancelled: one
+// epoch every Step/timeScale wall seconds (timeScale ≤ 0 means 1 — real
+// time; 60 runs a minute of logical time per wall second).
+func (d *Dispatcher) Serve(ctx context.Context, timeScale float64) error {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	interval := time.Duration(d.cfg.Step / timeScale * float64(time.Second))
+	if interval <= 0 {
+		return fmt.Errorf("dispatch: step %v at scale %v yields no tick interval", d.cfg.Step, timeScale)
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			d.Tick()
+		}
+	}
+}
+
+// tickLocked is one epoch: drain the queue, apply due events, plan every
+// shard concurrently, advance the clock. Caller holds d.mu.
+func (d *Dispatcher) tickLocked() {
+	t := d.clock
+	d.drainLocked()
+	d.applyDueLocked(t)
+	d.forecastLocked(t)
+
+	start := time.Now()
+	par.Do(len(d.shards), d.cfg.Parallelism, func(i int) {
+		d.shards[i].Step(t)
+	})
+	d.lat.add(time.Since(start))
+
+	// Retire routing entries for departed workers and closed tasks so the
+	// maps track the live population, not the service's lifetime history.
+	// The HasWorker/HasOpenTask guards keep an id that was re-admitted in
+	// this same epoch routable.
+	for shard, m := range d.shards {
+		for _, id := range m.TakeDepartedWorkers() {
+			if d.owner[id] == shard && !m.HasWorker(id) {
+				delete(d.owner, id)
+			}
+		}
+		for _, id := range m.TakeClosedTasks() {
+			if d.taskOf[id] == shard && !m.HasOpenTask(id) {
+				delete(d.taskOf, id)
+			}
+		}
+	}
+
+	d.epochs++
+	d.clock = t + d.cfg.Step
+	d.nowBits.Store(math.Float64bits(d.clock))
+}
+
+// forecastLocked refreshes the global virtual-task sets at the forecaster's
+// cadence and hands each shard the virtuals for the cells it owns. The
+// forecaster sees the complete published stream — mirroring the engine's
+// forecast step — so sharding does not dilute the demand counts the model
+// was trained on.
+func (d *Dispatcher) forecastLocked(t float64) {
+	if d.cfg.Forecast == nil {
+		return
+	}
+	if t-d.lastForecast < d.cfg.Forecast.Span() {
+		return
+	}
+	d.lastForecast = t
+	if hb, ok := d.cfg.Forecast.(stream.HistoryBounded); ok {
+		d.published = stream.PruneHistory(d.published, t-hb.HistorySpan())
+	}
+	virtuals := d.cfg.Forecast.Virtuals(d.published, t)
+	byShard := make([][]*core.Task, len(d.shards))
+	for _, v := range virtuals {
+		shard := d.shardOf(v.Loc)
+		byShard[shard] = append(byShard[shard], v)
+	}
+	for i, m := range d.shards {
+		m.SetVirtuals(byShard[i])
+	}
+}
+
+// drainLocked moves queued events into the pending heap without blocking.
+func (d *Dispatcher) drainLocked() {
+	for {
+		select {
+		case ev := <-d.queue:
+			d.seq++
+			heap.Push(&d.pending, pendingEvent{ev: ev, seq: d.seq})
+		default:
+			return
+		}
+	}
+}
+
+// applyDueLocked folds every pending event with Time ≤ t into shard state,
+// in (Time, ingest order) — extraction is O(due·log pending), never a scan
+// of the whole backlog. Cross-kind order within a batch is immaterial
+// (admissions touch disjoint state until the Step that follows, which is why
+// a trace replay matches the engine's workers-then-tasks batching); what
+// matters is that events about the *same* entity — an offline followed by a
+// re-online, a submit followed by a cancel — apply in the order produced.
+func (d *Dispatcher) applyDueLocked(t float64) {
+	for len(d.pending) > 0 && d.pending[0].ev.Time <= t {
+		d.applyLocked(heap.Pop(&d.pending).(pendingEvent).ev, t)
+	}
+}
+
+func (d *Dispatcher) applyLocked(ev Event, t float64) {
+	ok := false
+	switch ev.Kind {
+	case KindWorkerOnline:
+		if ev.Worker == nil {
+			break
+		}
+		// A second online for a still-active id is rejected rather than
+		// rebound: rebinding would orphan the live copy in its shard.
+		if prev, dup := d.owner[ev.Worker.ID]; dup && d.shards[prev].HasWorker(ev.Worker.ID) {
+			break
+		}
+		shard := d.shardOf(ev.Worker.Loc)
+		if ok = d.shards[shard].AddWorker(ev.Worker, t); ok {
+			d.owner[ev.Worker.ID] = shard
+		}
+	case KindTaskSubmit:
+		if ev.Task == nil {
+			break
+		}
+		// Two live tasks with one id would let a shard's plan assign the id
+		// twice (fatal) or make cancel/ownership ambiguous across shards.
+		if prev, dup := d.taskOf[ev.Task.ID]; dup && d.shards[prev].HasOpenTask(ev.Task.ID) {
+			break
+		}
+		// The global forecast feed mirrors the machine's own: every submit,
+		// including expired-on-arrival, is demand the model should see.
+		if d.cfg.Forecast != nil {
+			d.published = append(d.published, ev.Task)
+		}
+		shard := d.shardOf(ev.Task.Loc)
+		if d.shards[shard].AddTask(ev.Task, t) {
+			d.taskOf[ev.Task.ID] = shard
+		}
+		// Expired-on-arrival still changed state (it counted as expired),
+		// so a rejected admission here is applied either way.
+		ok = true
+	case KindWorkerOffline:
+		if shard, known := d.owner[ev.ID]; known {
+			ok = d.shards[shard].RemoveWorker(ev.ID, t)
+		}
+	case KindTaskCancel:
+		if shard, known := d.taskOf[ev.ID]; known {
+			ok = d.shards[shard].CancelTask(ev.ID)
+		}
+	case KindPosition:
+		if shard, known := d.owner[ev.ID]; known {
+			ok = d.shards[shard].UpdateWorkerPos(ev.ID, ev.Loc)
+		}
+	}
+	if ok {
+		d.applied.Add(1)
+	} else {
+		d.unroutable.Add(1)
+	}
+}
+
+// PlanOf returns the current schedule of a worker, or false when the worker
+// is unknown or already departed.
+func (d *Dispatcher) PlanOf(workerID int) (stream.WorkerPlan, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	shard, ok := d.owner[workerID]
+	if !ok {
+		return stream.WorkerPlan{}, false
+	}
+	return d.shards[shard].PlanOf(workerID)
+}
+
+// Snapshot returns a consistent metrics snapshot.
+func (d *Dispatcher) Snapshot() Metrics {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := Metrics{
+		Now:           d.clock,
+		Epochs:        d.epochs,
+		Ingested:      d.ingested.Load(),
+		Applied:       d.applied.Load(),
+		Unroutable:    d.unroutable.Load(),
+		QueueDepth:    len(d.queue) + len(d.pending),
+		RoutedWorkers: len(d.owner),
+		RoutedTasks:   len(d.taskOf),
+	}
+	m.EpochP50, m.EpochP95, m.EpochP99 = d.lat.percentiles()
+	for i, sh := range d.shards {
+		st := sh.Stats()
+		m.Shards = append(m.Shards, ShardMetrics{
+			Shard: i, Workers: sh.Workers(), Open: sh.OpenTasks(), Stats: st,
+		})
+		m.Assigned += st.Assigned
+		m.Expired += st.Expired
+		m.Cancelled += st.Cancelled
+		m.Repositions += st.Repositions
+		m.PlanCalls += st.PlanCalls
+		m.PlanTime += st.PlanTime
+	}
+	return m
+}
+
+// pendingEvent orders drained events by effect time, ingest order breaking
+// ties, so due extraction is logarithmic in the backlog size.
+type pendingEvent struct {
+	ev  Event
+	seq int64
+}
+
+type eventHeap []pendingEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].ev.Time != h[j].ev.Time {
+		return h[i].ev.Time < h[j].ev.Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(pendingEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// latencyRing keeps the last n epoch latencies for percentile snapshots.
+type latencyRing struct {
+	buf  []time.Duration
+	next int
+	full bool
+}
+
+func newLatencyRing(n int) *latencyRing { return &latencyRing{buf: make([]time.Duration, n)} }
+
+func (r *latencyRing) add(d time.Duration) {
+	r.buf[r.next] = d
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// percentiles returns p50/p95/p99 over the retained window (zeros when no
+// epoch has run yet).
+func (r *latencyRing) percentiles() (p50, p95, p99 time.Duration) {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	s := append([]time.Duration(nil), r.buf[:n]...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	at := func(p float64) time.Duration {
+		i := int(p * float64(n-1))
+		return s[i]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}

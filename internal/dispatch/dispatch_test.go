@@ -1,0 +1,484 @@
+package dispatch
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/stream"
+	"repro/internal/wds"
+	"repro/internal/workload"
+)
+
+var travel = geo.NewTravelModel(0.005)
+
+func searchFactory() func(int) assign.Planner {
+	return func(int) assign.Planner {
+		return &assign.Search{Opts: assign.Options{WDS: wds.Options{Travel: travel}}}
+	}
+}
+
+func greedyFactory() func(int) assign.Planner {
+	return func(int) assign.Planner {
+		return &assign.Greedy{Opts: assign.Options{WDS: wds.Options{Travel: travel}}}
+	}
+}
+
+func testScenario(t *testing.T) *workload.Scenario {
+	t.Helper()
+	cfg := workload.Yueche().Scaled(0.03)
+	cfg.HistoryDuration = 0
+	return workload.Generate(cfg)
+}
+
+// replay drives a fresh dispatcher over the scenario trace at the given
+// shard count and returns its final snapshot.
+func replay(sc *workload.Scenario, shards int, factory func(int) assign.Planner, fixed bool, step float64, parallelism int) Metrics {
+	d := New(Config{
+		Shards:      shards,
+		Grid:        sc.Grid,
+		Step:        step,
+		Now:         sc.T0,
+		Travel:      travel,
+		Fixed:       fixed,
+		NewPlanner:  factory,
+		Parallelism: parallelism,
+	})
+	g := LoadGen{Events: sc.Events(), T1: sc.T1}
+	return g.Run(d).Metrics
+}
+
+// TestSingleShardMatchesStreamEngine is the subsystem's equivalence
+// contract: a dispatcher replaying a scenario's event trace with one shard
+// must reproduce the replay engine's Assigned/Expired counts exactly, for
+// both adaptive (DTA) and fixed (FTA) semantics and the Greedy baseline.
+func TestSingleShardMatchesStreamEngine(t *testing.T) {
+	sc := testScenario(t)
+	cases := []struct {
+		name    string
+		factory func(int) assign.Planner
+		fixed   bool
+	}{
+		{"DTA", searchFactory(), false},
+		{"FTA", searchFactory(), true},
+		{"Greedy", greedyFactory(), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const step = 2
+			ref := stream.Run(
+				stream.Input{Workers: sc.Workers, Tasks: sc.Tasks, T0: sc.T0, T1: sc.T1},
+				stream.Config{Planner: tc.factory(0), Fixed: tc.fixed, Step: step, Travel: travel},
+			)
+			got := replay(sc, 1, tc.factory, tc.fixed, step, 1)
+			if got.Assigned != ref.Assigned || got.Expired != ref.Expired {
+				t.Fatalf("dispatch assigned/expired = %d/%d, engine = %d/%d",
+					got.Assigned, got.Expired, ref.Assigned, ref.Expired)
+			}
+			if got.Repositions != ref.Repositions || got.PlanCalls != ref.PlanCalls {
+				t.Fatalf("dispatch repositions/planCalls = %d/%d, engine = %d/%d",
+					got.Repositions, got.PlanCalls, ref.Repositions, ref.PlanCalls)
+			}
+		})
+	}
+}
+
+// stubForecaster announces a fixed set of virtual tasks, like the stream
+// package's test stub; it is stateless, so engine and dispatcher instances
+// are interchangeable.
+type stubForecaster struct {
+	tasks []*core.Task
+	span  float64
+}
+
+func (s *stubForecaster) Virtuals(_ []*core.Task, now float64) []*core.Task {
+	var out []*core.Task
+	for _, v := range s.tasks {
+		if v.Exp > now {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (s *stubForecaster) Span() float64 { return s.span }
+
+// TestSingleShardForecastMatchesStreamEngine extends the equivalence
+// contract to the prediction path: the dispatcher's global forecast must
+// reproduce the engine's per-machine forecast exactly at one shard.
+func TestSingleShardForecastMatchesStreamEngine(t *testing.T) {
+	sc := testScenario(t)
+	// Predict demand at a fixed point mid-region for the whole run — enough
+	// to trigger repositioning in both drivers.
+	v := &core.Task{ID: -1, Loc: geo.Point{X: 2, Y: 2}, Pub: 0, Exp: sc.T1, Virtual: true, Cell: -1}
+	const step = 2
+	ref := stream.Run(
+		stream.Input{Workers: sc.Workers, Tasks: sc.Tasks, T0: sc.T0, T1: sc.T1},
+		stream.Config{
+			Planner:  searchFactory()(0),
+			Step:     step,
+			Travel:   travel,
+			Forecast: &stubForecaster{tasks: []*core.Task{v}, span: 60},
+		},
+	)
+	d := New(Config{
+		Shards:     1,
+		Step:       step,
+		Now:        sc.T0,
+		Travel:     travel,
+		NewPlanner: searchFactory(),
+		Forecast:   &stubForecaster{tasks: []*core.Task{v}, span: 60},
+	})
+	got := LoadGen{Events: sc.Events(), T1: sc.T1}.Run(d).Metrics
+	if got.Assigned != ref.Assigned || got.Expired != ref.Expired || got.Repositions != ref.Repositions {
+		t.Fatalf("dispatch assigned/expired/repositions = %d/%d/%d, engine = %d/%d/%d",
+			got.Assigned, got.Expired, got.Repositions, ref.Assigned, ref.Expired, ref.Repositions)
+	}
+	if got.Repositions == 0 {
+		t.Fatal("stub forecast produced no repositions; the prediction path was not exercised")
+	}
+}
+
+// digest reduces a snapshot to its deterministic assignment outcome,
+// excluding wall-clock fields.
+func digest(m Metrics) string {
+	s := fmt.Sprintf("assigned=%d expired=%d cancelled=%d repositions=%d planCalls=%d epochs=%d;",
+		m.Assigned, m.Expired, m.Cancelled, m.Repositions, m.PlanCalls, m.Epochs)
+	for _, sh := range m.Shards {
+		s += fmt.Sprintf(" shard%d{w=%d open=%d a=%d e=%d c=%d r=%d}",
+			sh.Shard, sh.Workers, sh.Open, sh.Stats.Assigned, sh.Stats.Expired,
+			sh.Stats.Cancelled, sh.Stats.Repositions)
+	}
+	return s
+}
+
+// TestMultiShardDeterministic pins the other half of the contract: a fixed
+// seed and shard count yield a byte-identical outcome on every run, at every
+// parallelism level.
+func TestMultiShardDeterministic(t *testing.T) {
+	sc := testScenario(t)
+	ref := digest(replay(sc, 4, searchFactory(), false, 2, 1))
+	for run := 0; run < 2; run++ {
+		for _, parallelism := range []int{1, 4, 0} {
+			got := digest(replay(sc, 4, searchFactory(), false, 2, parallelism))
+			if got != ref {
+				t.Fatalf("run %d parallelism %d diverged:\n got %s\nwant %s", run, parallelism, got, ref)
+			}
+		}
+	}
+}
+
+// TestMultiShardConservation checks that sharding loses no tasks: every real
+// task is either assigned or expires, across all shards. The replay horizon
+// extends past the last task's expiration so nothing is still in flight.
+func TestMultiShardConservation(t *testing.T) {
+	sc := testScenario(t)
+	for _, shards := range []int{2, 4, 9} {
+		d := New(Config{
+			Shards: shards, Grid: sc.Grid, Step: 2, Now: sc.T0,
+			Travel: travel, NewPlanner: searchFactory(),
+		})
+		horizon := sc.T1 + sc.Config.TaskValid + 2
+		m := LoadGen{Events: sc.Events(), T1: horizon}.Run(d).Metrics
+		if len(m.Shards) != shards {
+			t.Fatalf("snapshot has %d shards, want %d", len(m.Shards), shards)
+		}
+		if m.Assigned+m.Expired != len(sc.Tasks) {
+			t.Fatalf("%d shards: %d assigned + %d expired != %d tasks",
+				shards, m.Assigned, m.Expired, len(sc.Tasks))
+		}
+		if m.Unroutable != 0 {
+			t.Fatalf("%d shards: %d unroutable trace events", shards, m.Unroutable)
+		}
+	}
+}
+
+func singleShard(planner func(int) assign.Planner) *Dispatcher {
+	return New(Config{Step: 1, Travel: travel, NewPlanner: planner})
+}
+
+func TestWorkerOfflineReleasesWorker(t *testing.T) {
+	d := singleShard(searchFactory())
+	d.WorkerOnline(&core.Worker{ID: 1, Reach: 1, On: 0, Off: 1000})
+	d.Advance(1)
+	if _, ok := d.PlanOf(1); !ok {
+		t.Fatal("worker 1 should be active")
+	}
+	d.WorkerOffline(1)
+	d.Advance(3)
+	if _, ok := d.PlanOf(1); ok {
+		t.Fatal("worker 1 should have departed after going offline")
+	}
+	// A task published after the worker left must expire.
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 0.1}, Pub: 3, Exp: 60, Cell: -1})
+	d.Advance(100)
+	m := d.Snapshot()
+	if m.Assigned != 0 || m.Expired != 1 {
+		t.Fatalf("assigned/expired = %d/%d, want 0/1", m.Assigned, m.Expired)
+	}
+}
+
+func TestTaskCancelPreventsAssignment(t *testing.T) {
+	d := singleShard(searchFactory())
+	// The worker comes online later; the task is cancelled before any
+	// planner can see both.
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 0.1}, Pub: 0, Exp: 500, Cell: -1})
+	d.Advance(2)
+	d.CancelTask(10)
+	d.Advance(4)
+	d.WorkerOnline(&core.Worker{ID: 1, Reach: 1, On: 4, Off: 1000})
+	d.Advance(200)
+	m := d.Snapshot()
+	if m.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", m.Cancelled)
+	}
+	if m.Assigned != 0 {
+		t.Fatalf("assigned = %d, want 0 (task was withdrawn)", m.Assigned)
+	}
+	if m.Expired != 0 {
+		t.Fatalf("expired = %d, want 0 (cancelled, not expired)", m.Expired)
+	}
+}
+
+func TestHeartbeatMovesIdleWorker(t *testing.T) {
+	d := singleShard(searchFactory())
+	// Worker far from the task; a heartbeat teleports it within reach.
+	d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 3}, Reach: 0.5, On: 0, Off: 1000})
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 0.1}, Pub: 0, Exp: 100, Cell: -1})
+	d.Advance(2)
+	if m := d.Snapshot(); m.Assigned != 0 {
+		t.Fatalf("assigned = %d before heartbeat, want 0", m.Assigned)
+	}
+	d.Heartbeat(1, geo.Point{X: 0.2})
+	d.Advance(90)
+	if m := d.Snapshot(); m.Assigned != 1 {
+		t.Fatalf("assigned = %d after heartbeat, want 1", m.Assigned)
+	}
+}
+
+func TestUnroutableEventsCounted(t *testing.T) {
+	d := singleShard(searchFactory())
+	d.WorkerOffline(99)
+	d.CancelTask(99)
+	d.Heartbeat(99, geo.Point{})
+	d.Advance(1)
+	m := d.Snapshot()
+	if m.Unroutable != 3 {
+		t.Fatalf("unroutable = %d, want 3", m.Unroutable)
+	}
+	if m.Applied != 0 {
+		t.Fatalf("applied = %d, want 0", m.Applied)
+	}
+}
+
+// TestFutureEventsWaitForTheirEpoch verifies that an event stamped ahead of
+// the clock stays pending until the epoch covering its instant.
+func TestFutureEventsWaitForTheirEpoch(t *testing.T) {
+	d := singleShard(searchFactory())
+	d.Ingest(Event{Time: 5, Kind: KindWorkerOnline,
+		Worker: &core.Worker{ID: 1, Reach: 1, On: 5, Off: 1000}})
+	d.Advance(5) // epochs 0..4: event not yet due
+	if _, ok := d.PlanOf(1); ok {
+		t.Fatal("worker admitted before its online instant")
+	}
+	if m := d.Snapshot(); m.QueueDepth != 1 {
+		t.Fatalf("queue depth = %d, want 1 pending event", m.QueueDepth)
+	}
+	d.Advance(6) // epoch 5 admits it
+	if _, ok := d.PlanOf(1); !ok {
+		t.Fatal("worker not admitted at its online instant")
+	}
+}
+
+// TestDuplicateTaskSubmitRejected pins the fix for a remotely triggerable
+// crash: two live tasks sharing an id could both enter one shard's planning
+// pool and make the plan-consistency check panic.
+func TestDuplicateTaskSubmitRejected(t *testing.T) {
+	d := singleShard(searchFactory())
+	d.WorkerOnline(&core.Worker{ID: 1, Reach: 2, On: 0, Off: 10000})
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 0.1}, Pub: 0, Exp: 9000, Cell: -1})
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 0.9}, Pub: 0, Exp: 9000, Cell: -1})
+	d.Advance(200) // must not panic
+	m := d.Snapshot()
+	if m.Unroutable != 1 {
+		t.Fatalf("unroutable = %d, want 1 (duplicate submit)", m.Unroutable)
+	}
+	if m.Assigned != 1 {
+		t.Fatalf("assigned = %d, want 1 (single live copy of task 10)", m.Assigned)
+	}
+	// Once the id has been served it may be reused.
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 0.2}, Pub: 200, Exp: 9000, Cell: -1})
+	d.Advance(400)
+	if m := d.Snapshot(); m.Assigned != 2 {
+		t.Fatalf("assigned = %d, want 2 (id reuse after completion)", m.Assigned)
+	}
+}
+
+// TestDuplicateWorkerOnlineRejected: re-onlining a live id must not orphan
+// the existing copy (or strand it in another shard); after departure the id
+// is reusable.
+func TestDuplicateWorkerOnlineRejected(t *testing.T) {
+	d := singleShard(searchFactory())
+	d.WorkerOnline(&core.Worker{ID: 1, Reach: 1, On: 0, Off: 100})
+	d.Advance(1)
+	d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 2}, Reach: 1, On: 1, Off: 5000})
+	d.Advance(2)
+	m := d.Snapshot()
+	if m.Unroutable != 1 {
+		t.Fatalf("unroutable = %d, want 1 (duplicate online)", m.Unroutable)
+	}
+	if got := m.Shards[0].Workers; got != 1 {
+		t.Fatalf("active workers = %d, want 1", got)
+	}
+	// The original window stands: the worker departs at its own off.
+	d.Advance(101)
+	if _, ok := d.PlanOf(1); ok {
+		t.Fatal("worker should have departed at the original off time")
+	}
+	// A departed id can come back online.
+	d.WorkerOnline(&core.Worker{ID: 1, Reach: 1, On: 101, Off: 5000})
+	d.Advance(103)
+	if _, ok := d.PlanOf(1); !ok {
+		t.Fatal("departed worker id should be re-admittable")
+	}
+}
+
+// TestOfflineThenOnlineSameEpoch: a worker that goes offline and comes back
+// online within one epoch batch must end up online — the offline releases
+// the id immediately, so the later online is not mistaken for a duplicate.
+func TestOfflineThenOnlineSameEpoch(t *testing.T) {
+	d := singleShard(searchFactory())
+	d.WorkerOnline(&core.Worker{ID: 1, Reach: 1, On: 0, Off: 100})
+	d.Advance(1)
+	// Both land in the epoch at t=1, offline first in ingest order.
+	d.WorkerOffline(1)
+	d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 0.3}, Reach: 1, On: 1, Off: 500})
+	d.Advance(2)
+	m := d.Snapshot()
+	if m.Unroutable != 0 {
+		t.Fatalf("unroutable = %d, want 0 (re-online must be accepted)", m.Unroutable)
+	}
+	if _, ok := d.PlanOf(1); !ok {
+		t.Fatal("worker must be online after the offline/online pair")
+	}
+	// The new session's window applies: still online after the old off.
+	d.Advance(200)
+	if _, ok := d.PlanOf(1); !ok {
+		t.Fatal("replacement session ended at the old window's off time")
+	}
+}
+
+// TestRoutingStateRetired: routing entries must track the live population —
+// once workers depart and tasks close, the maps drain back to zero and
+// references to the retired ids become unroutable.
+func TestRoutingStateRetired(t *testing.T) {
+	d := singleShard(searchFactory())
+	d.WorkerOnline(&core.Worker{ID: 1, Reach: 1, On: 0, Off: 50})
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 0.1}, Pub: 0, Exp: 30, Cell: -1})
+	d.Advance(1)
+	m := d.Snapshot()
+	if m.RoutedWorkers != 1 || m.RoutedTasks != 0 {
+		t.Fatalf("routed workers/tasks = %d/%d, want 1/0 (task committed at t=0)",
+			m.RoutedWorkers, m.RoutedTasks)
+	}
+	d.Advance(100) // worker departs at 50
+	m = d.Snapshot()
+	if m.RoutedWorkers != 0 || m.RoutedTasks != 0 {
+		t.Fatalf("routing maps not drained: workers=%d tasks=%d", m.RoutedWorkers, m.RoutedTasks)
+	}
+	// Events about retired ids have no effect and say so.
+	d.Heartbeat(1, geo.Point{})
+	d.CancelTask(10)
+	d.Advance(102)
+	if m = d.Snapshot(); m.Unroutable != 2 {
+		t.Fatalf("unroutable = %d, want 2", m.Unroutable)
+	}
+}
+
+// TestIngestBeyondQueueCapacity: a single goroutine must be able to enqueue
+// far more events than the queue holds without an epoch running in between —
+// the overflow spills into the pending buffer instead of deadlocking.
+func TestIngestBeyondQueueCapacity(t *testing.T) {
+	d := New(Config{Step: 1, Travel: travel, NewPlanner: greedyFactory(), QueueSize: 8})
+	const n = 1000
+	for i := 0; i < n; i++ {
+		d.Ingest(Event{Time: 0, Kind: KindTaskSubmit,
+			Task: &core.Task{ID: i + 1, Loc: geo.Point{X: 3}, Pub: 0, Exp: 5, Cell: -1}})
+	}
+	d.Advance(10)
+	m := d.Snapshot()
+	if m.Ingested != n || m.Applied != n {
+		t.Fatalf("ingested/applied = %d/%d, want %d/%d", m.Ingested, m.Applied, n, n)
+	}
+	if m.Expired != n {
+		t.Fatalf("expired = %d, want %d (no workers)", m.Expired, n)
+	}
+}
+
+// TestSnapshotLatencies sanity-checks the percentile plumbing.
+func TestSnapshotLatencies(t *testing.T) {
+	sc := testScenario(t)
+	m := replay(sc, 2, searchFactory(), false, 2, 0)
+	if m.Epochs == 0 {
+		t.Fatal("no epochs ran")
+	}
+	if m.EpochP50 <= 0 || m.EpochP99 < m.EpochP95 || m.EpochP95 < m.EpochP50 {
+		t.Fatalf("implausible percentiles p50=%v p95=%v p99=%v", m.EpochP50, m.EpochP95, m.EpochP99)
+	}
+	if m.PlanCalls == 0 || m.PlanTime <= 0 {
+		t.Fatalf("planner accounting missing: calls=%d time=%v", m.PlanCalls, m.PlanTime)
+	}
+}
+
+// TestLoadGenSustainsDiDiRate is the throughput acceptance bar: replaying a
+// DiDi-scaled trace unpaced must sustain at least 1000 events per second,
+// planning included.
+func TestLoadGenSustainsDiDiRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock throughput floor is meaningless under the race detector")
+	}
+	cfg := workload.DiDi().Scaled(0.1)
+	cfg.HistoryDuration = 0
+	sc := workload.Generate(cfg)
+	d := New(Config{
+		Shards:     4,
+		Grid:       sc.Grid,
+		Step:       2,
+		Now:        sc.T0,
+		Travel:     travel,
+		NewPlanner: greedyFactory(),
+	})
+	res := LoadGen{Events: sc.Events(), T1: sc.T1}.Run(d)
+	if res.Events < 500 {
+		t.Fatalf("trace too small to be meaningful: %d events", res.Events)
+	}
+	if res.AchievedRate < 1000 {
+		t.Fatalf("achieved %.0f events/sec over %d events (%v wall), want ≥ 1000",
+			res.AchievedRate, res.Events, res.Wall)
+	}
+	if res.Metrics.Assigned == 0 {
+		t.Fatal("load run assigned nothing; harness is not exercising planning")
+	}
+}
+
+// TestLoadGenPacing verifies the rate limiter actually paces wall time.
+func TestLoadGenPacing(t *testing.T) {
+	cfg := workload.Yueche().Scaled(0.01)
+	cfg.HistoryDuration = 0
+	sc := workload.Generate(cfg)
+	d := New(Config{Step: 10, Now: sc.T0, Travel: travel, NewPlanner: greedyFactory()})
+	events := sc.Events()
+	if len(events) > 60 {
+		events = events[:60]
+	}
+	rate := 2000.0
+	res := LoadGen{Events: events, Rate: rate, T1: sc.T1}.Run(d)
+	if res.AchievedRate > rate*1.25 {
+		t.Fatalf("achieved %.0f events/sec, pacing at %.0f had no effect", res.AchievedRate, rate)
+	}
+}

@@ -1,0 +1,194 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// syntheticIDBase starts server-assigned task ids well above any client-
+// chosen range so the two never collide.
+const syntheticIDBase = 1 << 30
+
+// Handler is the HTTP/JSON ingestion and query API over a Dispatcher:
+//
+//	POST /v1/workers            {id, x, y, reach, avail}   worker online
+//	POST /v1/workers/offline    {id}                       worker offline
+//	POST /v1/workers/heartbeat  {id, x, y}                 position update
+//	POST /v1/tasks              {id?, x, y, valid}         submit task
+//	POST /v1/tasks/cancel       {id}                       cancel task
+//	GET  /v1/plan?worker=ID                                current schedule
+//	GET  /v1/metrics                                       snapshot
+//	GET  /healthz                                          liveness
+//
+// Ingestion endpoints respond 202 Accepted with the logical effect time:
+// events take effect at the next planning epoch, not synchronously.
+type Handler struct {
+	d      *Dispatcher
+	mux    *http.ServeMux
+	nextID atomic.Int64
+}
+
+// NewHandler wraps a dispatcher in its HTTP API.
+func NewHandler(d *Dispatcher) *Handler {
+	h := &Handler{d: d, mux: http.NewServeMux()}
+	h.nextID.Store(syntheticIDBase)
+	h.mux.HandleFunc("POST /v1/workers", h.workerOnline)
+	h.mux.HandleFunc("POST /v1/workers/offline", h.workerOffline)
+	h.mux.HandleFunc("POST /v1/workers/heartbeat", h.heartbeat)
+	h.mux.HandleFunc("POST /v1/tasks", h.submitTask)
+	h.mux.HandleFunc("POST /v1/tasks/cancel", h.cancelTask)
+	h.mux.HandleFunc("GET /v1/plan", h.plan)
+	h.mux.HandleFunc("GET /v1/metrics", h.metrics)
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+type workerReq struct {
+	ID    int     `json:"id"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Reach float64 `json:"reach"`
+	// Avail is the availability window length in logical seconds from now.
+	Avail float64 `json:"avail"`
+}
+
+type taskReq struct {
+	ID int     `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+	// Valid is the validity window e − p in logical seconds.
+	Valid float64 `json:"valid"`
+}
+
+type idReq struct {
+	ID int     `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+type acceptedResp struct {
+	ID int `json:"id"`
+	// Time is the logical instant the event takes effect (the next epoch).
+	Time float64 `json:"time"`
+}
+
+func (h *Handler) workerOnline(w http.ResponseWriter, r *http.Request) {
+	var req workerReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.ID <= 0 || req.Reach <= 0 || req.Avail <= 0 {
+		httpError(w, http.StatusBadRequest, "id, reach and avail must be positive")
+		return
+	}
+	now := h.d.Now()
+	h.d.WorkerOnline(&core.Worker{
+		ID: req.ID, Loc: geo.Point{X: req.X, Y: req.Y},
+		Reach: req.Reach, On: now, Off: now + req.Avail,
+	})
+	writeJSON(w, http.StatusAccepted, acceptedResp{ID: req.ID, Time: now})
+}
+
+func (h *Handler) workerOffline(w http.ResponseWriter, r *http.Request) {
+	var req idReq
+	if !decode(w, r, &req) {
+		return
+	}
+	h.d.WorkerOffline(req.ID)
+	writeJSON(w, http.StatusAccepted, acceptedResp{ID: req.ID, Time: h.d.Now()})
+}
+
+func (h *Handler) heartbeat(w http.ResponseWriter, r *http.Request) {
+	var req idReq
+	if !decode(w, r, &req) {
+		return
+	}
+	h.d.Heartbeat(req.ID, geo.Point{X: req.X, Y: req.Y})
+	writeJSON(w, http.StatusAccepted, acceptedResp{ID: req.ID, Time: h.d.Now()})
+}
+
+func (h *Handler) submitTask(w http.ResponseWriter, r *http.Request) {
+	var req taskReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Valid <= 0 {
+		httpError(w, http.StatusBadRequest, "valid must be positive")
+		return
+	}
+	// Negative ids are reserved for forecaster-generated virtual tasks and
+	// ids at or above the synthetic base for server-assigned ones; a
+	// client-chosen collision with either could double-assign an id.
+	if req.ID < 0 || req.ID >= syntheticIDBase {
+		httpError(w, http.StatusBadRequest,
+			"id must be in [0, 2^30) (0 = server-assigned)")
+		return
+	}
+	id := req.ID
+	if id == 0 {
+		id = int(h.nextID.Add(1))
+	}
+	now := h.d.Now()
+	h.d.SubmitTask(&core.Task{
+		ID: id, Loc: geo.Point{X: req.X, Y: req.Y},
+		Pub: now, Exp: now + req.Valid, Cell: -1,
+	})
+	writeJSON(w, http.StatusAccepted, acceptedResp{ID: id, Time: now})
+}
+
+func (h *Handler) cancelTask(w http.ResponseWriter, r *http.Request) {
+	var req idReq
+	if !decode(w, r, &req) {
+		return
+	}
+	h.d.CancelTask(req.ID)
+	writeJSON(w, http.StatusAccepted, acceptedResp{ID: req.ID, Time: h.d.Now()})
+}
+
+func (h *Handler) plan(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("worker"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "worker query parameter must be an integer")
+		return
+	}
+	wp, ok := h.d.PlanOf(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown or departed worker")
+		return
+	}
+	writeJSON(w, http.StatusOK, wp)
+}
+
+func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.d.Snapshot())
+}
+
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

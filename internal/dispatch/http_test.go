@@ -1,0 +1,172 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func postJSON(t *testing.T, srv *httptest.Server, path string, body string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: decode: %v", path, err)
+	}
+	return out
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	d := singleShard(searchFactory())
+	srv := httptest.NewServer(NewHandler(d))
+	defer srv.Close()
+
+	// Liveness.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v / %v", err, resp.Status)
+	}
+	resp.Body.Close()
+
+	// Worker online + task submit through the API.
+	postJSON(t, srv, "/v1/workers", `{"id":1,"x":0,"y":0,"reach":1,"avail":1000}`)
+	taskResp := postJSON(t, srv, "/v1/tasks", `{"x":0.1,"y":0,"valid":200}`)
+	taskID := int(taskResp["id"].(float64))
+	if taskID < syntheticIDBase {
+		t.Fatalf("server-assigned task id %d below synthetic base", taskID)
+	}
+
+	// Events take effect at the next epoch; drive the clock as Serve would.
+	d.Advance(5)
+
+	// Plan query: the worker must be committed to (or planning toward) the
+	// submitted task.
+	var wp stream.WorkerPlan
+	getJSON(t, srv, "/v1/plan?worker=1", &wp)
+	if wp.Worker != 1 {
+		t.Fatalf("plan for worker %d, want 1", wp.Worker)
+	}
+	if wp.Committed != taskID && !contains(wp.Next, taskID) {
+		t.Fatalf("task %d absent from plan %+v", taskID, wp)
+	}
+
+	// Metrics snapshot.
+	var m Metrics
+	getJSON(t, srv, "/v1/metrics", &m)
+	if m.Assigned != 1 {
+		t.Fatalf("assigned = %d, want 1", m.Assigned)
+	}
+	if m.Ingested != 2 || m.Applied != 2 {
+		t.Fatalf("ingested/applied = %d/%d, want 2/2", m.Ingested, m.Applied)
+	}
+	if m.Epochs == 0 {
+		t.Fatal("metrics must report executed epochs")
+	}
+
+	// Unknown worker: 404.
+	r, err := http.Get(srv.URL + "/v1/plan?worker=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown worker: status %d, want 404", r.StatusCode)
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	d := singleShard(searchFactory())
+	srv := httptest.NewServer(NewHandler(d))
+	defer srv.Close()
+
+	bad := []struct{ path, body string }{
+		{"/v1/workers", `{"id":0,"reach":1,"avail":10}`},
+		{"/v1/workers", `{"id":1,"reach":-1,"avail":10}`},
+		{"/v1/tasks", `{"x":1,"valid":0}`},
+		{"/v1/tasks", `not json`},
+		{"/v1/workers", `{"unknown_field":true}`},
+	}
+	for _, tc := range bad {
+		resp, err := http.Post(srv.URL+tc.path, "application/json", bytes.NewBufferString(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %s %q: status %d, want 400", tc.path, tc.body, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPOfflineAndCancel(t *testing.T) {
+	d := singleShard(searchFactory())
+	srv := httptest.NewServer(NewHandler(d))
+	defer srv.Close()
+
+	postJSON(t, srv, "/v1/workers", `{"id":7,"x":2,"y":2,"reach":1,"avail":1000}`)
+	taskResp := postJSON(t, srv, "/v1/tasks", `{"id":70,"x":0,"y":0,"valid":500}`)
+	if int(taskResp["id"].(float64)) != 70 {
+		t.Fatal("client-chosen task id not honored")
+	}
+	d.Advance(2)
+	postJSON(t, srv, "/v1/tasks/cancel", `{"id":70}`)
+	postJSON(t, srv, "/v1/workers/heartbeat", `{"id":7,"x":0.1,"y":0}`)
+	postJSON(t, srv, "/v1/workers/offline", `{"id":7}`)
+	d.Advance(10)
+
+	var m Metrics
+	getJSON(t, srv, "/v1/metrics", &m)
+	if m.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", m.Cancelled)
+	}
+	if _, ok := d.PlanOf(7); ok {
+		t.Fatal("worker 7 still active after offline")
+	}
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, into any) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: decode: %v", path, err)
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// ExampleNewHandler demonstrates the wire format of the metrics endpoint.
+func ExampleNewHandler() {
+	d := New(Config{Step: 1, NewPlanner: greedyFactory()})
+	srv := httptest.NewServer(NewHandler(d))
+	defer srv.Close()
+	resp, _ := http.Get(srv.URL + "/healthz")
+	fmt.Println(resp.Status)
+	resp.Body.Close()
+	// Output: 200 OK
+}

@@ -1,0 +1,78 @@
+package dispatch
+
+import (
+	"time"
+
+	"repro/internal/workload"
+)
+
+// LoadGen replays a scenario event trace (workload.Scenario.Events) against
+// a dispatcher for closed-loop load testing: events are ingested in trace
+// order, epochs run exactly when the logical clock reaches them, and an
+// optional rate limit paces ingestion against wall time. With Rate ≤ 0 the
+// replay runs as fast as the dispatcher plans — the achieved events/sec then
+// measures dispatcher throughput, planning included.
+type LoadGen struct {
+	// Events is the time-ordered trace to replay.
+	Events []workload.Event
+	// Rate is the target ingest rate in events per wall second (≤ 0 =
+	// unpaced).
+	Rate float64
+	// T1 is the logical horizon: after the last event the dispatcher is
+	// advanced to T1 so in-flight work drains, mirroring the engine's
+	// [T0, T1) clock range.
+	T1 float64
+}
+
+// LoadResult summarizes one replay.
+type LoadResult struct {
+	// Events is the number of trace events ingested.
+	Events int
+	// Wall is the total wall-clock duration of the replay.
+	Wall time.Duration
+	// AchievedRate is Events / Wall in events per second.
+	AchievedRate float64
+	// Metrics is the dispatcher snapshot after the final epoch.
+	Metrics Metrics
+}
+
+// Run replays the trace. The caller must not Advance or Serve the dispatcher
+// concurrently: LoadGen owns the epoch clock for the duration of the replay.
+func (g LoadGen) Run(d *Dispatcher) LoadResult {
+	start := time.Now()
+	var interval time.Duration
+	if g.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / g.Rate)
+	}
+	next := start
+	for _, ev := range g.Events {
+		// Run every epoch strictly before the event's instant, so the event
+		// is in the queue when the epoch covering its Time executes.
+		for d.Now() < ev.Time {
+			d.Tick()
+		}
+		switch ev.Kind {
+		case workload.WorkerOnline:
+			d.Ingest(Event{Time: ev.Time, Kind: KindWorkerOnline, Worker: ev.Worker})
+		case workload.TaskSubmit:
+			d.Ingest(Event{Time: ev.Time, Kind: KindTaskSubmit, Task: ev.Task})
+		}
+		if interval > 0 {
+			next = next.Add(interval)
+			if wait := time.Until(next); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+	}
+	d.Advance(g.T1)
+	wall := time.Since(start)
+	res := LoadResult{
+		Events:  len(g.Events),
+		Wall:    wall,
+		Metrics: d.Snapshot(),
+	}
+	if wall > 0 {
+		res.AchievedRate = float64(res.Events) / wall.Seconds()
+	}
+	return res
+}

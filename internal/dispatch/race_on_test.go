@@ -1,0 +1,8 @@
+//go:build race
+
+package dispatch
+
+// raceEnabled reports whether the race detector is active in this test
+// binary; wall-clock throughput floors are meaningless under its 5–20×
+// slowdown.
+const raceEnabled = true

@@ -291,10 +291,3 @@ func init() {
 		})
 	}
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -108,12 +108,13 @@ func (s Scale) sweep(values []float64) []float64 {
 	return append(out, values[len(values)-1])
 }
 
-// Table is a printable experiment result.
+// Table is a printable experiment result. The JSON tags are the wire names
+// used by datawa-bench's -json trajectory output.
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // Add appends one formatted row.

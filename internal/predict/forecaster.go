@@ -65,3 +65,12 @@ func (f *Forecaster) Virtuals(published []*core.Task, now float64) []*core.Task 
 
 // Span returns the prediction cadence: one vector span kΔT.
 func (f *Forecaster) Span() float64 { return f.Cfg.VectorSpan() }
+
+// HistorySpan returns how far back published tasks still influence a
+// prediction: the History-vector window plus one vector span of slack for
+// the flooring of partial vectors. Long-running callers may discard older
+// tasks — BuildSeries zeroes their vectors, but Predict never reads past the
+// window, so the forecast is unchanged.
+func (f *Forecaster) HistorySpan() float64 {
+	return float64(f.History+1) * f.Cfg.VectorSpan()
+}

@@ -1,0 +1,553 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// MachineConfig configures one assignment state machine. It is the part of
+// Config that is meaningful without a scenario clock range: the replay engine
+// (Engine) and the live dispatcher (internal/dispatch) both drive a Machine,
+// the engine from presorted worker/task streams, the dispatcher from a
+// concurrent event queue.
+type MachineConfig struct {
+	// Planner computes assignments at each planning instant.
+	Planner assign.Planner
+	// Fixed selects FTA semantics (see Config.Fixed).
+	Fixed bool
+	// Forecast, when non-nil, injects virtual tasks at its own cadence.
+	Forecast Forecaster
+	// Travel must match the planner's travel model.
+	Travel geo.TravelModel
+	// TrackRemovals makes the machine record the ids of departing workers
+	// and closing tasks (assigned, expired, or cancelled) for collection via
+	// TakeDepartedWorkers/TakeClosedTasks — how the dispatcher keeps its
+	// routing maps from growing forever. Off for replay engines, which never
+	// drain the lists.
+	TrackRemovals bool
+}
+
+func (c MachineConfig) withDefaults() MachineConfig {
+	if c.Travel.Speed <= 0 {
+		c.Travel = geo.NewTravelModel(0)
+	}
+	return c
+}
+
+// Stats aggregates a machine's lifetime counters. The JSON tags are the wire
+// names used by the dispatch service's metrics endpoint.
+type Stats struct {
+	// Assigned counts real tasks committed to a worker (the paper's headline
+	// metric; commitment revalidates the spatio-temporal constraints, so
+	// every assignment is also completed).
+	Assigned int `json:"assigned"`
+	// Expired counts real tasks that left the system unserved.
+	Expired int `json:"expired"`
+	// Cancelled counts tasks withdrawn by CancelTask before assignment.
+	Cancelled int `json:"cancelled"`
+	// Repositions counts moves toward virtual (predicted) tasks.
+	Repositions int `json:"repositions"`
+	// PlanCalls is the number of planning instants that invoked the planner.
+	PlanCalls int `json:"plan_calls"`
+	// PlanTime is the total wall time spent inside the planner.
+	PlanTime time.Duration `json:"plan_time_ns"`
+}
+
+// workerState tracks one worker's runtime.
+type workerState struct {
+	w *core.Worker
+	// Motion segment; when moving, the worker travels origin→dest during
+	// [departT, arriveT].
+	origin, dest     geo.Point
+	departT, arriveT float64
+	moving           bool
+	// committed is the real task being executed (motion not interruptible);
+	// nil while idle or repositioning toward predicted demand.
+	committed *core.Task
+	// plan is the remaining planned sequence beyond the committed task.
+	plan core.Sequence
+	// fixed marks an FTA worker that has received its one plan.
+	fixed bool
+}
+
+// pos returns the worker's position at time t.
+func (ws *workerState) pos(t float64) geo.Point {
+	if !ws.moving {
+		return ws.w.Loc
+	}
+	if ws.arriveT <= ws.departT {
+		return ws.dest
+	}
+	return geo.Lerp(ws.origin, ws.dest, (t-ws.departT)/(ws.arriveT-ws.departT))
+}
+
+// Machine is the commit/expiry state machine of the Adaptive Algorithm
+// (Section IV-C): active workers with motion segments and plans, the open
+// task pool, FTA reservations, and the forecast cadence. Callers feed it
+// arrival/departure events (AddWorker, AddTask, RemoveWorker, CancelTask,
+// UpdateWorkerPos) and advance it with Step, which runs one planning instant.
+//
+// A Machine is single-goroutine, like the Engine built on it; concurrent
+// drivers must serialize access themselves.
+type Machine struct {
+	cfg MachineConfig
+
+	active    []*workerState
+	byWorker  map[int]*workerState
+	open      map[int]*core.Task // published, unexpired, unassigned real tasks
+	openOrder []*core.Task
+	reserved  map[int]bool // task ids locked into fixed (FTA) plans
+	published []*core.Task // all real tasks published so far (history feed)
+	virtuals  []*core.Task
+
+	lastForecast float64
+	stats        Stats
+	// Removal logs, populated only when cfg.TrackRemovals is set.
+	departed []int
+	closed   []int
+}
+
+// NewMachine returns an empty machine.
+func NewMachine(cfg MachineConfig) *Machine {
+	return &Machine{
+		cfg:          cfg.withDefaults(),
+		byWorker:     make(map[int]*workerState),
+		open:         make(map[int]*core.Task),
+		reserved:     make(map[int]bool),
+		lastForecast: math.Inf(-1),
+	}
+}
+
+// AddWorker admits a worker at time now (Algorithm 3 lines 3–5). The worker
+// is copied, so position updates stay internal. A worker whose availability
+// window is already over — or whose id is already active — is ignored; the
+// return value reports admission.
+func (m *Machine) AddWorker(w *core.Worker, now float64) bool {
+	if w == nil || w.Off <= now {
+		return false
+	}
+	if _, dup := m.byWorker[w.ID]; dup {
+		return false
+	}
+	cp := *w
+	ws := &workerState{w: &cp}
+	m.active = append(m.active, ws)
+	m.byWorker[cp.ID] = ws
+	return true
+}
+
+// AddTask publishes a real task at time now (lines 6–9). A task that is
+// already expired counts toward Stats.Expired and is not admitted; a task
+// whose id is already open is rejected outright — two live tasks sharing an
+// id would let a plan assign the id twice, which the planner-consistency
+// check treats as fatal. The return value reports admission to the open
+// pool.
+func (m *Machine) AddTask(s *core.Task, now float64) bool {
+	if s == nil {
+		return false
+	}
+	if _, dup := m.open[s.ID]; dup {
+		return false
+	}
+	// The published history only feeds the forecaster; without one,
+	// retaining it would grow a long-running machine without bound.
+	if m.cfg.Forecast != nil {
+		m.published = append(m.published, s)
+	}
+	if s.Exp <= now {
+		m.stats.Expired++
+		return false
+	}
+	m.open[s.ID] = s
+	m.openOrder = append(m.openOrder, s)
+	return true
+}
+
+// RemoveWorker ends a worker's availability window at time now — the
+// dispatcher's worker-offline event. An idle or repositioning worker leaves
+// immediately (exactly what the next Step's eviction would do, so the same
+// id can come back online within the same planning epoch); a worker
+// executing a committed task finishes it first, with the engine's departure
+// semantics. Any reserved (FTA) tasks return to the pool.
+func (m *Machine) RemoveWorker(id int, now float64) bool {
+	ws, ok := m.byWorker[id]
+	if !ok {
+		return false
+	}
+	if now < ws.w.Off {
+		ws.w.Off = now
+	}
+	if ws.committed == nil {
+		m.releasePlan(ws)
+		delete(m.byWorker, id)
+		for i, cur := range m.active {
+			if cur == ws {
+				m.active = append(m.active[:i], m.active[i+1:]...)
+				break
+			}
+		}
+		m.noteDeparture(id)
+	}
+	return true
+}
+
+// CancelTask withdraws an open task before assignment. Cancelling a task a
+// worker has already committed to is a no-op (the commitment already counted
+// as assigned). It reports whether a task left the open pool.
+func (m *Machine) CancelTask(id int) bool {
+	s, ok := m.open[id]
+	if !ok {
+		return false
+	}
+	delete(m.open, s.ID)
+	delete(m.reserved, s.ID)
+	m.stats.Cancelled++
+	m.noteClosure(s.ID)
+	return true
+}
+
+// UpdateWorkerPos moves an idle worker to a reported position — the
+// dispatcher's heartbeat event. It reports whether the worker is known;
+// position reports for moving workers are accepted but ignored, since their
+// position is owned by the motion segment.
+func (m *Machine) UpdateWorkerPos(id int, loc geo.Point) bool {
+	ws, ok := m.byWorker[id]
+	if !ok {
+		return false
+	}
+	if !ws.moving {
+		ws.w.Loc = loc
+	}
+	return true
+}
+
+// TakeDepartedWorkers returns and clears the ids of workers that left since
+// the last call. Empty unless MachineConfig.TrackRemovals is set.
+func (m *Machine) TakeDepartedWorkers() []int {
+	out := m.departed
+	m.departed = nil
+	return out
+}
+
+// TakeClosedTasks returns and clears the ids of tasks that left the open
+// pool (assigned, expired, or cancelled) since the last call. Empty unless
+// MachineConfig.TrackRemovals is set.
+func (m *Machine) TakeClosedTasks() []int {
+	out := m.closed
+	m.closed = nil
+	return out
+}
+
+func (m *Machine) noteDeparture(id int) {
+	if m.cfg.TrackRemovals {
+		m.departed = append(m.departed, id)
+	}
+}
+
+func (m *Machine) noteClosure(id int) {
+	if m.cfg.TrackRemovals {
+		m.closed = append(m.closed, id)
+	}
+}
+
+// Step advances the machine to time now: it completes due motion segments,
+// evicts expired tasks and departed workers, refreshes the forecast, runs
+// one planning instant, and commits the head of each idle worker's plan.
+// Arrival events for this instant must be applied before the call.
+func (m *Machine) Step(now float64) {
+	m.completeMotions(now)
+	m.evict(now)
+	m.forecast(now)
+	m.plan(now)
+	m.execute(now)
+}
+
+// Stats returns the lifetime counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Workers returns the number of active workers.
+func (m *Machine) Workers() int { return len(m.active) }
+
+// HasWorker reports whether a worker with this id is currently active.
+func (m *Machine) HasWorker(id int) bool {
+	_, ok := m.byWorker[id]
+	return ok
+}
+
+// HasOpenTask reports whether a task with this id is currently open.
+func (m *Machine) HasOpenTask(id int) bool {
+	_, ok := m.open[id]
+	return ok
+}
+
+// OpenTasks returns the number of open (published, unexpired, unassigned)
+// real tasks.
+func (m *Machine) OpenTasks() int { return len(m.open) }
+
+// WorkerPlan describes one worker's current schedule for plan queries.
+type WorkerPlan struct {
+	Worker int `json:"worker"`
+	// Committed is the id of the real task the worker is travelling to, or
+	// -1 when idle or repositioning.
+	Committed int `json:"committed"`
+	// Moving reports an in-flight motion segment (committed or reposition).
+	Moving bool `json:"moving"`
+	// Next holds the ids of the remaining planned tasks beyond the committed
+	// one; virtual tasks carry their (negative or synthetic) planner ids.
+	Next []int `json:"next"`
+}
+
+// PlanOf returns the current schedule of an active worker.
+func (m *Machine) PlanOf(id int) (WorkerPlan, bool) {
+	ws, ok := m.byWorker[id]
+	if !ok {
+		return WorkerPlan{}, false
+	}
+	wp := WorkerPlan{Worker: id, Committed: -1, Moving: ws.moving}
+	if ws.committed != nil {
+		wp.Committed = ws.committed.ID
+	}
+	for _, s := range ws.plan {
+		wp.Next = append(wp.Next, s.ID)
+	}
+	return wp, true
+}
+
+// completeMotions finishes any motion segment that ends by time t.
+func (m *Machine) completeMotions(t float64) {
+	for _, ws := range m.active {
+		if ws.moving && ws.arriveT <= t {
+			ws.moving = false
+			ws.w.Loc = ws.dest
+			if ws.committed != nil {
+				// The committed task is performed on arrival; it was
+				// counted as assigned at commitment.
+				ws.committed = nil
+			}
+		}
+	}
+}
+
+// evict drops expired open tasks and departed workers (line 15).
+func (m *Machine) evict(t float64) {
+	var keptTasks []*core.Task
+	for _, s := range m.openOrder {
+		if _, ok := m.open[s.ID]; !ok {
+			continue
+		}
+		if s.Exp <= t {
+			delete(m.open, s.ID)
+			delete(m.reserved, s.ID)
+			m.stats.Expired++
+			m.noteClosure(s.ID)
+			continue
+		}
+		keptTasks = append(keptTasks, s)
+	}
+	m.openOrder = keptTasks
+
+	var kept []*workerState
+	for _, ws := range m.active {
+		// Workers finishing a committed task stay until arrival (validity
+		// guaranteed completion before off); all others leave at off.
+		if ws.w.Off <= t && ws.committed == nil {
+			m.releasePlan(ws)
+			delete(m.byWorker, ws.w.ID)
+			m.noteDeparture(ws.w.ID)
+			continue
+		}
+		kept = append(kept, ws)
+	}
+	m.active = kept
+
+	var keptVirtual []*core.Task
+	for _, v := range m.virtuals {
+		if v.Exp > t {
+			keptVirtual = append(keptVirtual, v)
+		}
+	}
+	m.virtuals = keptVirtual
+}
+
+// releasePlan returns a departing fixed worker's unexecuted reserved tasks
+// to the pool.
+func (m *Machine) releasePlan(ws *workerState) {
+	for _, s := range ws.plan {
+		if !s.Virtual {
+			delete(m.reserved, s.ID)
+		}
+	}
+	ws.plan = nil
+}
+
+// HistoryBounded is optionally implemented by forecasters that read only a
+// bounded span of published history. Long-running drivers (the Machine
+// itself, the dispatcher) prune older tasks before each forecast so the
+// history feed does not grow with uptime.
+type HistoryBounded interface {
+	// HistorySpan returns the history horizon in seconds: tasks published
+	// before now − HistorySpan() no longer influence predictions.
+	HistorySpan() float64
+}
+
+// PruneHistory discards tasks published before cutoff, preserving order.
+func PruneHistory(tasks []*core.Task, cutoff float64) []*core.Task {
+	kept := tasks[:0]
+	for _, s := range tasks {
+		if s.Pub >= cutoff {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// forecast refreshes virtual tasks at the predictor's cadence.
+func (m *Machine) forecast(t float64) {
+	if m.cfg.Forecast == nil {
+		return
+	}
+	if t-m.lastForecast < m.cfg.Forecast.Span() {
+		return
+	}
+	m.lastForecast = t
+	if hb, ok := m.cfg.Forecast.(HistoryBounded); ok {
+		m.published = PruneHistory(m.published, t-hb.HistorySpan())
+	}
+	m.virtuals = m.cfg.Forecast.Virtuals(m.published, t)
+}
+
+// SetVirtuals replaces the machine's virtual-task set — used by drivers that
+// forecast globally (the sharded dispatcher) instead of per machine. Expired
+// entries are evicted on the next Step, exactly like machine-local virtuals.
+func (m *Machine) SetVirtuals(v []*core.Task) {
+	m.virtuals = v
+}
+
+// plan runs one planning instant (Algorithm 4 via the configured planner).
+func (m *Machine) plan(t float64) {
+	var planners []*workerState
+	for _, ws := range m.active {
+		if ws.committed != nil {
+			continue // executing a real task: not interruptible
+		}
+		if m.cfg.Fixed && ws.fixed && len(ws.plan) > 0 {
+			continue // FTA: plan locked
+		}
+		if !ws.w.Available(t) {
+			continue
+		}
+		planners = append(planners, ws)
+	}
+	if len(planners) == 0 {
+		return
+	}
+	sort.Slice(planners, func(i, j int) bool { return planners[i].w.ID < planners[j].w.ID })
+
+	// Refresh worker locations to their positions now; repositioning
+	// workers are interrupted at their current point.
+	workers := make([]*core.Worker, len(planners))
+	for i, ws := range planners {
+		ws.w.Loc = ws.pos(t)
+		if ws.moving && ws.committed == nil {
+			ws.moving = false
+		}
+		workers[i] = ws.w
+	}
+
+	// Planning pool: open unreserved real tasks plus current virtuals.
+	var pool []*core.Task
+	for _, s := range m.openOrder {
+		if _, ok := m.open[s.ID]; ok && !m.reserved[s.ID] {
+			pool = append(pool, s)
+		}
+	}
+	pool = append(pool, m.virtuals...)
+
+	start := time.Now()
+	plan := m.cfg.Planner.Plan(workers, pool, t)
+	m.stats.PlanTime += time.Since(start)
+	m.stats.PlanCalls++
+
+	if dup, ok := plan.Consistent(); !ok {
+		panic(fmt.Sprintf("stream: planner %s assigned task %d twice", m.cfg.Planner.Name(), dup))
+	}
+
+	// Adaptive semantics: every replannable worker's sequence is replaced
+	// by the new plan (or cleared). Fixed semantics: assigned workers lock.
+	assigned := make(map[int]core.Sequence, len(plan))
+	for _, a := range plan {
+		assigned[a.Worker.ID] = a.Seq
+	}
+	for _, ws := range planners {
+		seq, ok := assigned[ws.w.ID]
+		if !ok {
+			ws.plan = nil
+			continue
+		}
+		ws.plan = seq
+		if m.cfg.Fixed {
+			ws.fixed = true
+			for _, s := range seq {
+				if !s.Virtual {
+					m.reserved[s.ID] = true
+				}
+			}
+		}
+	}
+}
+
+// execute starts the first task of each idle worker's planned sequence
+// (Algorithm 3 lines 10–14).
+func (m *Machine) execute(t float64) {
+	for _, ws := range m.active {
+		if ws.moving || !ws.w.Available(t) {
+			continue
+		}
+		for len(ws.plan) > 0 && !ws.moving {
+			head := ws.plan[0]
+			ws.plan = ws.plan[1:]
+			if head.Virtual {
+				// Reposition toward predicted demand; interruptible.
+				if head.Exp <= t {
+					continue
+				}
+				if geo.Dist(ws.w.Loc, head.Loc) < 1e-9 {
+					// Already positioned at the predicted demand: hold
+					// here and let the next planned task (if any) start.
+					continue
+				}
+				m.startMotion(ws, t, head.Loc, nil)
+				m.stats.Repositions++
+				continue
+			}
+			// Revalidate the head against the live clock before committing.
+			if _, stillOpen := m.open[head.ID]; !stillOpen {
+				continue
+			}
+			arrive := t + m.cfg.Travel.Time(ws.w.Loc, head.Loc)
+			if arrive >= head.Exp || arrive >= ws.w.Off {
+				continue // no longer satisfiable; try the next planned task
+			}
+			delete(m.open, head.ID)
+			delete(m.reserved, head.ID)
+			m.stats.Assigned++
+			m.noteClosure(head.ID)
+			m.startMotion(ws, t, head.Loc, head)
+		}
+	}
+}
+
+func (m *Machine) startMotion(ws *workerState, t float64, dest geo.Point, committed *core.Task) {
+	ws.origin = ws.w.Loc
+	ws.dest = dest
+	ws.departT = t
+	ws.arriveT = t + m.cfg.Travel.Time(ws.origin, dest)
+	ws.moving = true
+	ws.committed = committed
+}

@@ -1,0 +1,219 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// machineWith returns an empty machine running the exact search planner.
+func machineWith(fixed bool) *Machine {
+	return NewMachine(MachineConfig{Planner: searchPlanner(), Fixed: fixed, Travel: travel})
+}
+
+func TestMachineWorkerDepartsMidMotionCommitted(t *testing.T) {
+	// The worker commits to a task and its window ends mid-travel: it must
+	// stay active until arrival (validity guaranteed completion before off
+	// at commit time), and the assignment stands.
+	m := machineWith(false)
+	m.AddWorker(worker(1, 0, 0, 1, 0, 100), 0)
+	m.AddTask(task(1, 0.5, 0, 0, 90), 0)
+	m.Step(0) // commit: travel 50 s, arrive 50 < min(90, 100)
+	if st := m.Stats(); st.Assigned != 1 {
+		t.Fatalf("assigned = %d, want 1", st.Assigned)
+	}
+	// Shrink the window below the current clock while the worker is moving.
+	m.RemoveWorker(1, 10)
+	m.Step(20)
+	if wp, ok := m.PlanOf(1); !ok || wp.Committed != 1 || !wp.Moving {
+		t.Fatalf("committed worker evicted mid-motion: %+v ok=%v", wp, ok)
+	}
+	// On arrival the motion completes; the worker departs at the next step.
+	m.Step(50)
+	m.Step(51)
+	if _, ok := m.PlanOf(1); ok {
+		t.Fatal("worker should depart after completing its committed task")
+	}
+	if st := m.Stats(); st.Assigned != 1 || st.Expired != 0 {
+		t.Fatalf("stats after departure: %+v", st)
+	}
+}
+
+func TestMachineWorkerDepartsMidReposition(t *testing.T) {
+	// A worker repositioning toward predicted demand is interruptible: when
+	// its window ends mid-motion it leaves immediately, and the virtual
+	// target is never counted.
+	v := task(-1, 0.8, 0, 0, 500)
+	v.Virtual = true
+	m := NewMachine(MachineConfig{
+		Planner:  searchPlanner(),
+		Travel:   travel,
+		Forecast: &stubForecaster{tasks: []*core.Task{v}, span: 1000},
+	})
+	m.AddWorker(worker(1, 0, 0, 1, 0, 100), 0)
+	m.Step(0)
+	if st := m.Stats(); st.Repositions != 1 {
+		t.Fatalf("repositions = %d, want 1", st.Repositions)
+	}
+	m.RemoveWorker(1, 10)
+	m.Step(10)
+	if _, ok := m.PlanOf(1); ok {
+		t.Fatal("repositioning worker must depart at off, not at arrival")
+	}
+	if st := m.Stats(); st.Assigned != 0 {
+		t.Fatalf("assigned = %d, want 0 (virtual only)", st.Assigned)
+	}
+}
+
+func TestMachineTaskExpiringAtCommitInstant(t *testing.T) {
+	// Arrival exactly at the expiration instant: Definition 4 requires
+	// reaching the task strictly before e, so the commit must be refused
+	// and the task expires.
+	m := machineWith(false)
+	m.AddWorker(worker(1, 0, 0, 1, 0, 1000), 0)
+	// 0.5 km at 10 m/s = 50 s travel: planning at t=0 arrives exactly at 50.
+	m.AddTask(task(1, 0.5, 0, 0, 50), 0)
+	m.Step(0)
+	if st := m.Stats(); st.Assigned != 0 {
+		t.Fatalf("assigned = %d, want 0 (arrival == expiration)", st.Assigned)
+	}
+	m.Step(50)
+	if st := m.Stats(); st.Expired != 1 {
+		t.Fatalf("expired = %d, want 1", st.Expired)
+	}
+}
+
+func TestMachineTaskExpiringAtStepInstant(t *testing.T) {
+	// A task whose expiration coincides with the step instant is evicted
+	// before planning: Exp <= t means gone.
+	m := machineWith(false)
+	m.AddWorker(worker(1, 0.4, 0, 1, 0, 1000), 0)
+	m.AddTask(task(1, 0.5, 0, 0, 10), 0)
+	m.Step(10) // first planning instant is exactly the expiration
+	st := m.Stats()
+	if st.Assigned != 0 || st.Expired != 1 {
+		t.Fatalf("assigned/expired = %d/%d, want 0/1", st.Assigned, st.Expired)
+	}
+}
+
+func TestMachineZeroDurationAvailabilityWindow(t *testing.T) {
+	// on == off: the window [on, off) is empty, so the worker must never be
+	// admitted — the degenerate case of a dynamic window collapsing.
+	m := machineWith(false)
+	if m.AddWorker(worker(1, 0, 0, 1, 5, 5), 5) {
+		t.Fatal("zero-duration window admitted")
+	}
+	if m.Workers() != 0 {
+		t.Fatalf("active workers = %d, want 0", m.Workers())
+	}
+	// Same through the engine: the worker is skipped at its own on instant.
+	in := Input{
+		Workers: []*core.Worker{worker(1, 0, 0, 1, 5, 5)},
+		Tasks:   []*core.Task{task(1, 0.1, 0, 0, 400)},
+		T0:      0, T1: 500,
+	}
+	res := Run(in, cfgWith(searchPlanner()))
+	if res.Assigned != 0 || res.Expired != 1 {
+		t.Fatalf("engine assigned/expired = %d/%d, want 0/1", res.Assigned, res.Expired)
+	}
+}
+
+func TestMachineExpiredOnArrivalCounts(t *testing.T) {
+	// A task published already past its expiration (late delivery of a
+	// stale event) counts as expired exactly once.
+	m := machineWith(false)
+	if m.AddTask(task(1, 0.5, 0, 0, 10), 20) {
+		t.Fatal("stale task admitted to the open pool")
+	}
+	m.Step(20)
+	m.Step(21)
+	if st := m.Stats(); st.Expired != 1 {
+		t.Fatalf("expired = %d, want exactly 1", st.Expired)
+	}
+}
+
+func TestMachineCancelReservedFixedTask(t *testing.T) {
+	// FTA locks plans and reserves their tasks; cancelling a reserved task
+	// must release the reservation and suppress the assignment.
+	m := machineWith(true)
+	m.AddWorker(worker(1, 0, 0, 2, 0, 10000), 0)
+	m.AddTask(task(1, 0.5, 0, 0, 9000), 0)
+	m.AddTask(task(2, 0.9, 0, 0, 9000), 0)
+	m.Step(0) // fixed plan (1, 2); task 1 committed, task 2 reserved
+	if st := m.Stats(); st.Assigned != 1 {
+		t.Fatalf("assigned = %d, want 1", st.Assigned)
+	}
+	if !m.CancelTask(2) {
+		t.Fatal("reserved task should be cancellable")
+	}
+	m.Step(50) // arrival at task 1; next head (task 2) is gone
+	m.Step(90)
+	st := m.Stats()
+	if st.Assigned != 1 || st.Cancelled != 1 {
+		t.Fatalf("assigned/cancelled = %d/%d, want 1/1", st.Assigned, st.Cancelled)
+	}
+}
+
+func TestMachineUpdatePosIgnoredWhileMoving(t *testing.T) {
+	m := machineWith(false)
+	m.AddWorker(worker(1, 0, 0, 1, 0, 1000), 0)
+	m.AddTask(task(1, 0.5, 0, 0, 400), 0)
+	m.Step(0)
+	// A position report during motion acknowledges the worker but must not
+	// teleport it: the committed task still completes on schedule.
+	if !m.UpdateWorkerPos(1, geo.Point{X: 3, Y: 3}) {
+		t.Fatal("known moving worker reported as unknown")
+	}
+	m.Step(50) // arrival on the original schedule
+	if wp, _ := m.PlanOf(1); wp.Moving {
+		t.Fatal("motion should have completed at the original arrival time")
+	}
+	if !m.UpdateWorkerPos(1, geo.Point{X: 0.2, Y: 0}) {
+		t.Fatal("position update refused for an idle worker")
+	}
+}
+
+func TestMachineDuplicateAdmissionsRejected(t *testing.T) {
+	m := machineWith(false)
+	if !m.AddWorker(worker(1, 0, 0, 1, 0, 1000), 0) {
+		t.Fatal("first admission refused")
+	}
+	if m.AddWorker(worker(1, 2, 2, 1, 0, 9000), 0) {
+		t.Fatal("duplicate live worker id admitted")
+	}
+	if !m.AddTask(task(1, 0.5, 0, 0, 400), 0) {
+		t.Fatal("first task refused")
+	}
+	if m.AddTask(task(1, 0.9, 0, 0, 400), 0) {
+		t.Fatal("duplicate open task id admitted")
+	}
+	if st := m.Stats(); st.Expired != 0 {
+		t.Fatalf("duplicate submit counted as expired: %+v", st)
+	}
+}
+
+func TestMachineRemovalTracking(t *testing.T) {
+	m := NewMachine(MachineConfig{
+		Planner: searchPlanner(), Travel: travel, TrackRemovals: true,
+	})
+	m.AddWorker(worker(1, 0, 0, 1, 0, 100), 0)
+	m.AddTask(task(1, 0.5, 0, 0, 400), 0)
+	m.Step(0) // commits task 1
+	if got := m.TakeClosedTasks(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("closed tasks = %v, want [1]", got)
+	}
+	// An offline for the idle-again worker departs immediately.
+	m.Step(50)
+	m.RemoveWorker(1, 60)
+	if got := m.TakeDepartedWorkers(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("departed workers = %v, want [1]", got)
+	}
+	if m.HasWorker(1) {
+		t.Fatal("removed idle worker still active")
+	}
+	// The same id can come back before the next Step.
+	if !m.AddWorker(worker(1, 0, 0, 1, 60, 500), 60) {
+		t.Fatal("re-admission after immediate removal refused")
+	}
+}

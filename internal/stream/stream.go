@@ -5,10 +5,15 @@
 // and departed workers. It is the test bed on which all five assignment
 // methods of Section V-B.2 (Greedy, FTA, DTA, DTA+TP, DATA-WA) are compared.
 //
-// The engine advances a scenario clock in fixed steps, batching the arrival
-// events inside each step into one planning instant; the paper's "CPU time"
-// metric (average cost of performing task assignment at each time instance)
-// is reported as Result.AvgPlanTime.
+// The package has two layers. Machine is the commit/expiry state machine
+// itself — active workers, motion segments, the open pool, FTA reservations —
+// driven by explicit arrival/departure events plus Step calls; the live
+// dispatcher (internal/dispatch) runs one Machine per shard. Engine is the
+// closed-trace replay driver built on Machine: it advances a scenario clock
+// in fixed steps, batching the arrival events inside each step into one
+// planning instant; the paper's "CPU time" metric (average cost of
+// performing task assignment at each time instance) is reported as
+// Result.AvgPlanTime.
 //
 // Engine state is single-goroutine; an Engine must not be shared across
 // goroutines. Planners may fan their planning instant out across an internal
@@ -19,8 +24,6 @@
 package stream
 
 import (
-	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/assign"
@@ -102,49 +105,14 @@ type Result struct {
 	Repositions int
 }
 
-// workerState tracks one worker's runtime.
-type workerState struct {
-	w *core.Worker
-	// Motion segment; when moving, the worker travels origin→dest during
-	// [departT, arriveT].
-	origin, dest     geo.Point
-	departT, arriveT float64
-	moving           bool
-	// committed is the real task being executed (motion not interruptible);
-	// nil while idle or repositioning toward predicted demand.
-	committed *core.Task
-	// plan is the remaining planned sequence beyond the committed task.
-	plan core.Sequence
-	// fixed marks an FTA worker that has received its one plan.
-	fixed bool
-}
-
-// pos returns the worker's position at time t.
-func (ws *workerState) pos(t float64) geo.Point {
-	if !ws.moving {
-		return ws.w.Loc
-	}
-	if ws.arriveT <= ws.departT {
-		return ws.dest
-	}
-	return geo.Lerp(ws.origin, ws.dest, (t-ws.departT)/(ws.arriveT-ws.departT))
-}
-
-// Engine runs one scenario. Create with NewEngine and call Run once.
+// Engine runs one scenario by replaying its presorted worker/task streams
+// through a Machine. Create with NewEngine and call Run once.
 type Engine struct {
 	cfg Config
 	in  Input
-
-	active    []*workerState
-	open      map[int]*core.Task // published, unexpired, unassigned real tasks
-	openOrder []*core.Task
-	reserved  map[int]bool // task ids locked into fixed (FTA) plans
-	published []*core.Task // all real tasks published so far (history feed)
-	virtuals  []*core.Task
+	m   *Machine
 
 	nextWorker, nextTask int
-	lastForecast         float64
-	res                  Result
 }
 
 // NewEngine prepares a run; the input slices are not mutated (workers are
@@ -156,20 +124,19 @@ func NewEngine(in Input, cfg Config) *Engine {
 			p.SetParallelism(cfg.Parallelism)
 		}
 	}
-	workers := make([]*core.Worker, len(in.Workers))
-	for i, w := range in.Workers {
-		cp := *w
-		workers[i] = &cp
-	}
+	workers := append([]*core.Worker(nil), in.Workers...)
 	core.SortWorkersByOn(workers)
 	tasks := append([]*core.Task(nil), in.Tasks...)
 	core.SortTasksByPub(tasks)
 	return &Engine{
-		cfg:          cfg,
-		in:           Input{Workers: workers, Tasks: tasks, T0: in.T0, T1: in.T1},
-		open:         make(map[int]*core.Task),
-		reserved:     make(map[int]bool),
-		lastForecast: in.T0 - 1e9,
+		cfg: cfg,
+		in:  Input{Workers: workers, Tasks: tasks, T0: in.T0, T1: in.T1},
+		m: NewMachine(MachineConfig{
+			Planner:  cfg.Planner,
+			Fixed:    cfg.Fixed,
+			Forecast: cfg.Forecast,
+			Travel:   cfg.Travel,
+		}),
 	}
 }
 
@@ -179,243 +146,32 @@ func (e *Engine) Run() Result {
 	for t := e.in.T0; t < e.in.T1; t += e.cfg.Step {
 		e.stepOnce(t)
 	}
-	if e.res.PlanCalls > 0 {
-		e.res.AvgPlanTime = e.res.PlanTime / time.Duration(e.res.PlanCalls)
+	st := e.m.Stats()
+	res := Result{
+		Assigned:    st.Assigned,
+		Expired:     st.Expired,
+		PlanCalls:   st.PlanCalls,
+		PlanTime:    st.PlanTime,
+		Repositions: st.Repositions,
 	}
-	return e.res
+	if st.PlanCalls > 0 {
+		res.AvgPlanTime = st.PlanTime / time.Duration(st.PlanCalls)
+	}
+	return res
 }
 
+// stepOnce batches the arrivals due at t into the machine (Algorithm 3
+// lines 3–9) and advances it one planning instant.
 func (e *Engine) stepOnce(t float64) {
-	e.admitArrivals(t)
-	e.completeMotions(t)
-	e.evict(t)
-	e.forecast(t)
-	e.plan(t)
-	e.execute(t)
-}
-
-// admitArrivals folds workers and tasks whose on/publication time has come
-// into the active state (Algorithm 3 lines 3–9, batched).
-func (e *Engine) admitArrivals(t float64) {
 	for e.nextWorker < len(e.in.Workers) && e.in.Workers[e.nextWorker].On <= t {
-		w := e.in.Workers[e.nextWorker]
+		e.m.AddWorker(e.in.Workers[e.nextWorker], t)
 		e.nextWorker++
-		if w.Off <= t {
-			continue // window already over
-		}
-		e.active = append(e.active, &workerState{w: w})
 	}
 	for e.nextTask < len(e.in.Tasks) && e.in.Tasks[e.nextTask].Pub <= t {
-		s := e.in.Tasks[e.nextTask]
+		e.m.AddTask(e.in.Tasks[e.nextTask], t)
 		e.nextTask++
-		e.published = append(e.published, s)
-		if s.Exp <= t {
-			e.res.Expired++
-			continue
-		}
-		e.open[s.ID] = s
-		e.openOrder = append(e.openOrder, s)
 	}
-}
-
-// completeMotions finishes any motion segment that ends by time t.
-func (e *Engine) completeMotions(t float64) {
-	for _, ws := range e.active {
-		if ws.moving && ws.arriveT <= t {
-			ws.moving = false
-			ws.w.Loc = ws.dest
-			if ws.committed != nil {
-				// The committed task is performed on arrival; it was
-				// counted as assigned at commitment.
-				ws.committed = nil
-			}
-		}
-	}
-}
-
-// evict drops expired open tasks and departed workers (line 15).
-func (e *Engine) evict(t float64) {
-	var keptTasks []*core.Task
-	for _, s := range e.openOrder {
-		if _, ok := e.open[s.ID]; !ok {
-			continue
-		}
-		if s.Exp <= t {
-			delete(e.open, s.ID)
-			delete(e.reserved, s.ID)
-			e.res.Expired++
-			continue
-		}
-		keptTasks = append(keptTasks, s)
-	}
-	e.openOrder = keptTasks
-
-	var kept []*workerState
-	for _, ws := range e.active {
-		// Workers finishing a committed task stay until arrival (validity
-		// guaranteed completion before off); all others leave at off.
-		if ws.w.Off <= t && ws.committed == nil {
-			e.releasePlan(ws)
-			continue
-		}
-		kept = append(kept, ws)
-	}
-	e.active = kept
-
-	var keptVirtual []*core.Task
-	for _, v := range e.virtuals {
-		if v.Exp > t {
-			keptVirtual = append(keptVirtual, v)
-		}
-	}
-	e.virtuals = keptVirtual
-}
-
-// releasePlan returns a departing fixed worker's unexecuted reserved tasks
-// to the pool.
-func (e *Engine) releasePlan(ws *workerState) {
-	for _, s := range ws.plan {
-		if !s.Virtual {
-			delete(e.reserved, s.ID)
-		}
-	}
-	ws.plan = nil
-}
-
-// forecast refreshes virtual tasks at the predictor's cadence.
-func (e *Engine) forecast(t float64) {
-	if e.cfg.Forecast == nil {
-		return
-	}
-	if t-e.lastForecast < e.cfg.Forecast.Span() {
-		return
-	}
-	e.lastForecast = t
-	e.virtuals = e.cfg.Forecast.Virtuals(e.published, t)
-}
-
-// plan runs one planning instant (Algorithm 4 via the configured planner).
-func (e *Engine) plan(t float64) {
-	var planners []*workerState
-	for _, ws := range e.active {
-		if ws.committed != nil {
-			continue // executing a real task: not interruptible
-		}
-		if e.cfg.Fixed && ws.fixed && len(ws.plan) > 0 {
-			continue // FTA: plan locked
-		}
-		if !ws.w.Available(t) {
-			continue
-		}
-		planners = append(planners, ws)
-	}
-	if len(planners) == 0 {
-		return
-	}
-	sort.Slice(planners, func(i, j int) bool { return planners[i].w.ID < planners[j].w.ID })
-
-	// Refresh worker locations to their positions now; repositioning
-	// workers are interrupted at their current point.
-	byID := make(map[int]*workerState, len(planners))
-	workers := make([]*core.Worker, len(planners))
-	for i, ws := range planners {
-		ws.w.Loc = ws.pos(t)
-		if ws.moving && ws.committed == nil {
-			ws.moving = false
-		}
-		workers[i] = ws.w
-		byID[ws.w.ID] = ws
-	}
-
-	// Planning pool: open unreserved real tasks plus current virtuals.
-	var pool []*core.Task
-	for _, s := range e.openOrder {
-		if _, ok := e.open[s.ID]; ok && !e.reserved[s.ID] {
-			pool = append(pool, s)
-		}
-	}
-	pool = append(pool, e.virtuals...)
-
-	start := time.Now()
-	plan := e.cfg.Planner.Plan(workers, pool, t)
-	e.res.PlanTime += time.Since(start)
-	e.res.PlanCalls++
-
-	if dup, ok := plan.Consistent(); !ok {
-		panic(fmt.Sprintf("stream: planner %s assigned task %d twice", e.cfg.Planner.Name(), dup))
-	}
-
-	// Adaptive semantics: every replannable worker's sequence is replaced
-	// by the new plan (or cleared). Fixed semantics: assigned workers lock.
-	assigned := make(map[int]core.Sequence, len(plan))
-	for _, a := range plan {
-		assigned[a.Worker.ID] = a.Seq
-	}
-	for _, ws := range planners {
-		seq, ok := assigned[ws.w.ID]
-		if !ok {
-			ws.plan = nil
-			continue
-		}
-		ws.plan = seq
-		if e.cfg.Fixed {
-			ws.fixed = true
-			for _, s := range seq {
-				if !s.Virtual {
-					e.reserved[s.ID] = true
-				}
-			}
-		}
-	}
-}
-
-// execute starts the first task of each idle worker's planned sequence
-// (Algorithm 3 lines 10–14).
-func (e *Engine) execute(t float64) {
-	for _, ws := range e.active {
-		if ws.moving || !ws.w.Available(t) {
-			continue
-		}
-		for len(ws.plan) > 0 && !ws.moving {
-			head := ws.plan[0]
-			ws.plan = ws.plan[1:]
-			if head.Virtual {
-				// Reposition toward predicted demand; interruptible.
-				if head.Exp <= t {
-					continue
-				}
-				if geo.Dist(ws.w.Loc, head.Loc) < 1e-9 {
-					// Already positioned at the predicted demand: hold
-					// here and let the next planned task (if any) start.
-					continue
-				}
-				e.startMotion(ws, t, head.Loc, nil)
-				e.res.Repositions++
-				continue
-			}
-			// Revalidate the head against the live clock before committing.
-			if _, stillOpen := e.open[head.ID]; !stillOpen {
-				continue
-			}
-			arrive := t + e.cfg.Travel.Time(ws.w.Loc, head.Loc)
-			if arrive >= head.Exp || arrive >= ws.w.Off {
-				continue // no longer satisfiable; try the next planned task
-			}
-			delete(e.open, head.ID)
-			delete(e.reserved, head.ID)
-			e.res.Assigned++
-			e.startMotion(ws, t, head.Loc, head)
-		}
-	}
-}
-
-func (e *Engine) startMotion(ws *workerState, t float64, dest geo.Point, committed *core.Task) {
-	ws.origin = ws.w.Loc
-	ws.dest = dest
-	ws.departT = t
-	ws.arriveT = t + e.cfg.Travel.Time(ws.origin, dest)
-	ws.moving = true
-	ws.committed = committed
+	e.m.Step(t)
 }
 
 // Run is a convenience wrapper: build an engine and run it.

@@ -455,12 +455,13 @@ func (b *treeBuilder) residual(comp []int, collect bool) (int, [][]int) {
 		}
 		count++
 		var cc []int
+		// Pop via a head index: reslicing the front away would permanently
+		// erode the scratch buffer's capacity and defeat its reuse.
 		b.queue = append(b.queue[:0], int32(s))
 		b.seen[s] = true
 		touched = append(touched, int32(s))
-		for len(b.queue) > 0 {
-			v := b.queue[0]
-			b.queue = b.queue[1:]
+		for head := 0; head < len(b.queue); head++ {
+			v := b.queue[head]
 			if collect {
 				cc = append(cc, int(v))
 			}

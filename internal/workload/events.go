@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// EventKind tags one entry of a scenario's event trace.
+type EventKind int
+
+const (
+	// WorkerOnline is a worker coming on duty at its On time.
+	WorkerOnline EventKind = iota
+	// TaskSubmit is a task being published at its Pub time.
+	TaskSubmit
+)
+
+// String returns the kind's wire name.
+func (k EventKind) String() string {
+	switch k {
+	case WorkerOnline:
+		return "worker_online"
+	case TaskSubmit:
+		return "task_submit"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one arrival of a scenario's event trace: a worker coming online
+// or a task being published. Worker departures and task expirations are not
+// separate events — they are carried by the Off and Exp fields of the
+// records themselves, exactly as the stream engine consumes them.
+type Event struct {
+	// Time is the arrival instant on the scenario clock: Worker.On or
+	// Task.Pub.
+	Time float64
+	Kind EventKind
+	// Worker is set for WorkerOnline events.
+	Worker *core.Worker
+	// Task is set for TaskSubmit events.
+	Task *core.Task
+}
+
+// Events exports the scenario's assignment window as a time-ordered event
+// trace for live replay (dispatch.LoadGen). History tasks are not included:
+// they feed prediction training, never assignment. Ordering matches the
+// stream engine's admission order — by time, workers before tasks at equal
+// instants, ids ascending within a kind — so a dispatcher replaying the
+// trace at the engine's step cadence sees identical planning instants.
+func (s *Scenario) Events() []Event {
+	out := make([]Event, 0, len(s.Workers)+len(s.Tasks))
+	for _, w := range s.Workers {
+		out = append(out, Event{Time: w.On, Kind: WorkerOnline, Worker: w})
+	}
+	for _, t := range s.Tasks {
+		out = append(out, Event{Time: t.Pub, Kind: TaskSubmit, Task: t})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].id() < out[j].id()
+	})
+	return out
+}
+
+func (e Event) id() int {
+	if e.Kind == WorkerOnline {
+		return e.Worker.ID
+	}
+	return e.Task.ID
+}

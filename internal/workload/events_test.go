@@ -1,0 +1,46 @@
+package workload
+
+import "testing"
+
+func TestEventsOrderedAndComplete(t *testing.T) {
+	sc := Generate(Yueche().Scaled(0.02))
+	evs := sc.Events()
+	if len(evs) != len(sc.Workers)+len(sc.Tasks) {
+		t.Fatalf("trace has %d events, want %d workers + %d tasks",
+			len(evs), len(sc.Workers), len(sc.Tasks))
+	}
+	workers, tasks := 0, 0
+	for i, ev := range evs {
+		switch ev.Kind {
+		case WorkerOnline:
+			workers++
+			if ev.Worker == nil || ev.Time != ev.Worker.On {
+				t.Fatalf("event %d: worker event not stamped at On", i)
+			}
+		case TaskSubmit:
+			tasks++
+			if ev.Task == nil || ev.Time != ev.Task.Pub {
+				t.Fatalf("event %d: task event not stamped at Pub", i)
+			}
+		default:
+			t.Fatalf("event %d: unknown kind %v", i, ev.Kind)
+		}
+		if i > 0 && evs[i-1].Time > ev.Time {
+			t.Fatalf("event %d out of order: %f after %f", i, ev.Time, evs[i-1].Time)
+		}
+		if i > 0 && evs[i-1].Time == ev.Time && evs[i-1].Kind > ev.Kind {
+			t.Fatalf("event %d: tasks must not precede workers at the same instant", i)
+		}
+	}
+	if workers != len(sc.Workers) || tasks != len(sc.Tasks) {
+		t.Fatalf("trace covers %d workers / %d tasks, want %d / %d",
+			workers, tasks, len(sc.Workers), len(sc.Tasks))
+	}
+	if sc.History != nil {
+		for _, ev := range evs {
+			if ev.Kind == TaskSubmit && ev.Task.Pub < 0 {
+				t.Fatal("history task leaked into the assignment trace")
+			}
+		}
+	}
+}

@@ -387,10 +387,3 @@ func Generate(c Config) *Scenario {
 	core.SortWorkersByOn(s.Workers)
 	return s
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
