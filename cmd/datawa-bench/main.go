@@ -1,22 +1,32 @@
-// Command datawa-bench regenerates the tables and figures of the DATA-WA
-// paper's evaluation (Section V) on the synthetic Yueche/DiDi workloads and
-// prints paper-style rows.
+// Command datawa-bench measures the DATA-WA pipeline two ways.
 //
-// Usage:
+// Suite mode (-suite) runs the scenario-atlas benchmark suite: every
+// registered archetype × assignment method × density scale, replayed through
+// both the offline stream engine and the live sharded dispatch service. It
+// writes the schema-versioned BENCH_*.json trajectory document that
+// perf-sensitive PRs regenerate and CI gates on (see docs/BENCHMARKS.md):
+//
+//	datawa-bench -suite -json
+//	datawa-bench -suite -scales 1,5,20 -methods Greedy,DTA -json=BENCH_3.json
+//	datawa-bench -suite -scales 1 -json=BENCH_ci.json -compare BENCH_3.json
+//	datawa-bench -validate BENCH_3.json
+//
+// Experiment mode (-run) regenerates the tables and figures of the paper's
+// evaluation (Section V) on the synthetic Yueche/DiDi workloads and prints
+// paper-style rows:
 //
 //	datawa-bench -list
 //	datawa-bench -run fig7 -scale standard
 //	datawa-bench -run all -scale quick -csv out/
-//	datawa-bench -run fig7 -scale quick -json BENCH_fig7.json
+//	datawa-bench -run fig7 -scale quick -json=BENCH_fig7.json
 //
 // Scales: quick (seconds per experiment), standard (minutes; the default),
 // full (paper cardinalities; hours for the whole suite).
 //
-// -json writes one machine-readable document covering the whole run — scale
-// settings plus every table's header and rows (method, assigned, CPU per
-// instant, swept entity counts) — so successive BENCH_*.json files can track
-// the result trajectory across commits. "-" writes the document to stdout
-// and suppresses the text tables.
+// -json writes one machine-readable document covering the whole run. It
+// takes an optional value: a bare -json picks the default path (BENCH_3.json
+// in suite mode, stdout in experiment mode); -json=FILE writes FILE; "-"
+// writes to stdout and suppresses the text output.
 package main
 
 import (
@@ -25,37 +35,147 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/benchsuite"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
+// suiteJSONDefault is where -suite writes its report when -json gives no
+// explicit path. The number tracks the PR that last regenerated the
+// trajectory snapshot at the repo root.
+const suiteJSONDefault = "BENCH_3.json"
+
+// compareTolerance is the relative assignment-rate drop -compare accepts
+// before failing (docs/BENCHMARKS.md: perf-sensitive PRs regenerate the
+// snapshot; CI fails on >10% drops).
+const compareTolerance = 0.10
+
 func main() {
+	var jsonPath optionalPath
 	var (
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		run      = flag.String("run", "", "experiment id to run, or 'all'")
-		scale    = flag.String("scale", "standard", "quick | standard | full")
-		csvDir   = flag.String("csv", "", "also write <id>.csv files into this directory")
-		jsonPath = flag.String("json", "", "write machine-readable results to this file (\"-\" = stdout)")
-		points   = flag.Int("points", 0, "override sweep points per parameter (0 = all)")
+		scale    = flag.String("scale", "standard", "experiment mode: quick | standard | full")
+		csvDir   = flag.String("csv", "", "experiment mode: also write <id>.csv files into this directory")
+		points   = flag.Int("points", 0, "experiment mode: override sweep points per parameter (0 = all)")
 		parallel = flag.Int("parallelism", 0, "planner fan-out per instant (0 = one goroutine per CPU, 1 = serial)")
-	)
-	flag.Parse()
 
-	if *list || *run == "" {
+		suite     = flag.Bool("suite", false, "run the scenario-atlas benchmark suite")
+		scenarios = flag.String("scenarios", "", "suite mode: comma-separated archetype names (default: all registered)")
+		scales    = flag.String("scales", "1,5", "suite mode: comma-separated density multipliers")
+		methods   = flag.String("methods", "Greedy,DTA", "suite mode: comma-separated assignment methods")
+		shards    = flag.Int("shards", 2, "suite mode: live-path dispatcher shard count")
+		step      = flag.Float64("step", 2, "suite mode: planning epoch length in seconds")
+		compare   = flag.String("compare", "", "suite mode: baseline BENCH_*.json; fail on >10% assignment-rate drops")
+		validate  = flag.String("validate", "", "validate a BENCH_*.json suite report against the schema and exit")
+	)
+	flag.Var(&jsonPath, "json", "write machine-readable results (optional =FILE; bare flag picks the default path, \"-\" = stdout)")
+	flag.Parse()
+	// -json takes its value attached (-json=FILE). With the space form the
+	// file name would become a stray positional argument and silently stop
+	// flag parsing, so reject leftovers outright.
+	if flag.NArg() > 0 {
+		fatalf("unexpected argument %q (use -json=FILE, not -json FILE)", flag.Arg(0))
+	}
+
+	switch {
+	case *validate != "":
+		runValidate(*validate)
+	case *suite:
+		runSuite(*scenarios, *scales, *methods, *shards, *step, *parallel, jsonPath.resolve(suiteJSONDefault), *compare)
+	default:
+		runExperiments(*list, *run, *scale, *csvDir, *points, *parallel, jsonPath.resolve("-"))
+	}
+}
+
+// runValidate loads a suite report and checks it against the schema.
+func runValidate(path string) {
+	r, err := loadReport(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s: schema %s, %d cells — valid\n", path, r.Schema, len(r.Results))
+}
+
+// runSuite executes the atlas suite, writes the report, and optionally gates
+// against a baseline snapshot.
+func runSuite(scenarios, scales, methods string, shards int, step float64, parallel int, jsonPath, comparePath string) {
+	opts := benchsuite.Options{
+		Scenarios:   splitList(scenarios),
+		Methods:     splitList(methods),
+		Shards:      shards,
+		Step:        step,
+		Parallelism: parallel,
+	}
+	for _, s := range splitList(scales) {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			fatalf("bad -scales entry %q: %v", s, err)
+		}
+		opts.Scales = append(opts.Scales, f)
+	}
+	quiet := jsonPath == "-"
+	if !quiet {
+		opts.Log = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+
+	start := time.Now()
+	report, err := benchsuite.Run(opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !quiet {
+		fmt.Printf("(suite: %d cells in %v)\n", len(report.Results), time.Since(start).Round(time.Millisecond))
+	}
+	if err := writeJSON(jsonPath, report); err != nil {
+		fatalf("json: %v", err)
+	}
+	if !quiet && jsonPath != "" {
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if comparePath != "" {
+		base, err := loadReport(comparePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		n, err := benchsuite.Compare(base, report, compareTolerance)
+		if err != nil {
+			fatalf("compare against %s: %v", comparePath, err)
+		}
+		// In quiet mode stdout carries the JSON document; keep it clean.
+		out := os.Stdout
+		if quiet {
+			out = os.Stderr
+		}
+		fmt.Fprintf(out, "compare against %s: %d cells within %.0f%% assignment-rate tolerance\n",
+			comparePath, n, 100*compareTolerance)
+	}
+}
+
+// runExperiments is the paper-reproduction mode (tables and figures of
+// Section V).
+func runExperiments(list bool, run, scale, csvDir string, points, parallel int, jsonPath string) {
+	if list || run == "" {
 		fmt.Println("experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-20s %s\n", e.ID, e.Title)
 		}
-		if *run == "" && !*list {
-			fmt.Println("\nuse -run <id> or -run all")
+		fmt.Println("\nscenario atlas (use -suite):")
+		for _, a := range scenario.Registry() {
+			fmt.Printf("  %-20s %s\n", a.Name, a.Summary)
+		}
+		if run == "" && !list {
+			fmt.Println("\nuse -run <id>, -run all, or -suite")
 		}
 		return
 	}
 
 	var s experiments.Scale
-	switch strings.ToLower(*scale) {
+	switch strings.ToLower(scale) {
 	case "quick":
 		s = experiments.Quick
 	case "standard":
@@ -63,28 +183,26 @@ func main() {
 	case "full":
 		s = experiments.Full
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
+		fatalf("unknown scale %q", scale)
 	}
-	if *points > 0 {
-		s.SweepPoints = *points
+	if points > 0 {
+		s.SweepPoints = points
 	}
-	s.Parallelism = *parallel
+	s.Parallelism = parallel
 
 	var todo []experiments.Experiment
-	if *run == "all" {
+	if run == "all" {
 		todo = experiments.All()
 	} else {
-		e, ok := experiments.ByID(*run)
+		e, ok := experiments.ByID(run)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
-			os.Exit(2)
+			fatalf("unknown experiment %q (use -list)", run)
 		}
 		todo = []experiments.Experiment{e}
 	}
 
-	quiet := *jsonPath == "-"
-	report := jsonReport{Scale: *scale, SweepPoints: s.SweepPoints, Parallelism: s.Parallelism}
+	quiet := jsonPath == "-"
+	report := jsonReport{Scale: scale, SweepPoints: s.SweepPoints, Parallelism: s.Parallelism}
 	for _, e := range todo {
 		start := time.Now()
 		tables := e.Run(s)
@@ -92,10 +210,9 @@ func main() {
 			if !quiet {
 				fmt.Println(t.String())
 			}
-			if *csvDir != "" {
-				if err := writeCSV(*csvDir, t); err != nil {
-					fmt.Fprintf(os.Stderr, "csv: %v\n", err)
-					os.Exit(1)
+			if csvDir != "" {
+				if err := writeCSV(csvDir, t); err != nil {
+					fatalf("csv: %v", err)
 				}
 			}
 		}
@@ -107,18 +224,95 @@ func main() {
 			fmt.Printf("(%s completed in %v)\n\n", e.ID, elapsed.Round(time.Millisecond))
 		}
 	}
-	if *jsonPath != "" {
-		if err := writeReport(*jsonPath, report); err != nil {
-			fmt.Fprintf(os.Stderr, "json: %v\n", err)
-			os.Exit(1)
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, report); err != nil {
+			fatalf("json: %v", err)
 		}
 	}
 }
 
-// jsonReport is the -json document: one run of the suite, every table
-// included verbatim (header + rows carry method, assigned count, CPU per
-// instant, and the swept entity values), plus the scale settings that
-// produced it, so BENCH_*.json files are comparable across commits.
+// optionalPath is a flag that may appear bare (-json), with a value
+// (-json=FILE), or not at all; resolve substitutes the mode's default path
+// for the bare form.
+type optionalPath struct {
+	set   bool
+	value string
+}
+
+func (p *optionalPath) String() string { return p.value }
+
+func (p *optionalPath) Set(s string) error {
+	p.set = true
+	if s != "true" { // "true" is the bare-flag sentinel the flag package passes
+		p.value = s
+	}
+	return nil
+}
+
+// IsBoolFlag lets the flag package accept the bare form. The value, when
+// given, must be attached with '=': -json=FILE.
+func (p *optionalPath) IsBoolFlag() bool { return true }
+
+func (p *optionalPath) resolve(def string) string {
+	if !p.set {
+		return ""
+	}
+	if p.value == "" {
+		return def
+	}
+	return p.value
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func loadReport(path string) (*benchsuite.Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchsuite.Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func writeJSON(path string, doc any) error {
+	if path == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// jsonReport is the experiment-mode -json document: one run of the paper
+// suite, every table included verbatim (header + rows carry method, assigned
+// count, CPU per instant, and the swept entity values), plus the scale
+// settings that produced it.
 type jsonReport struct {
 	Scale       string           `json:"scale"`
 	SweepPoints int              `json:"sweep_points,omitempty"`
@@ -131,19 +325,6 @@ type jsonExperiment struct {
 	Title     string               `json:"title"`
 	ElapsedMS int64                `json:"elapsed_ms"`
 	Tables    []*experiments.Table `json:"tables"`
-}
-
-func writeReport(path string, r jsonReport) error {
-	b, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	b = append(b, '\n')
-	if path == "-" {
-		_, err = os.Stdout.Write(b)
-		return err
-	}
-	return os.WriteFile(path, b, 0o644)
 }
 
 func writeCSV(dir string, t *experiments.Table) error {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/geo"
 	"repro/internal/predict"
+	"repro/internal/scenario"
 	"repro/internal/stream"
 	"repro/internal/tvf"
 	"repro/internal/wds"
@@ -462,6 +463,19 @@ func (f *Framework) NewDispatcher(m Method, dc DispatchConfig) (*Dispatcher, err
 	}
 	return dispatch.New(cfg), nil
 }
+
+// Archetype is one named entry of the scenario atlas: a documented demand
+// regime with a Scale knob that multiplies worker/task density while keeping
+// the regime's structure fixed. See docs/SCENARIOS.md for the atlas.
+type Archetype = scenario.Archetype
+
+// Archetypes returns every registered scenario-atlas archetype, sorted by
+// name.
+func Archetypes() []Archetype { return scenario.Registry() }
+
+// ArchetypeByName returns the atlas archetype registered under name
+// (e.g. "rush-hour", "multi-city").
+func ArchetypeByName(name string) (Archetype, bool) { return scenario.Get(name) }
 
 // YuecheScenario returns the synthetic stand-in for the paper's Yueche
 // trace (Table II).

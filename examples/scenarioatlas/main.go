@@ -1,0 +1,61 @@
+// Example scenarioatlas walks the scenario atlas (docs/SCENARIOS.md): it
+// lists every registered archetype, then runs one bursty regime —
+// event-spike — at a small density through both execution paths, the offline
+// stream engine and the live dispatch service, and prints the outcomes side
+// by side. The same pattern at full density is what cmd/datawa-bench -suite
+// records into BENCH_*.json.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("scenario atlas:")
+	for _, a := range datawa.Archetypes() {
+		c := a.Scale(1)
+		fmt.Printf("  %-14s %4d workers %5d tasks — %s\n", a.Name, c.NumWorkers, c.NumTasks, a.Summary)
+	}
+
+	arch, ok := datawa.ArchetypeByName("event-spike")
+	if !ok {
+		log.Fatal("event-spike missing from the atlas")
+	}
+	cfg := arch.Scale(0.4)
+	sc := datawa.GenerateScenario(cfg)
+	fmt.Printf("\n%s at 0.4x: %d workers, %d tasks over %.0f s\n",
+		arch.Name, len(sc.Workers), len(sc.Tasks), cfg.Duration)
+
+	fw := datawa.New(datawa.Config{
+		Region:   cfg.Region,
+		GridRows: cfg.GridRows, GridCols: cfg.GridCols,
+		Step: 2, Seed: cfg.Seed,
+	})
+
+	// Offline: closed-trace replay through the stream engine.
+	res, err := fw.Run(datawa.MethodGreedy, sc.Workers, sc.Tasks, sc.T0, sc.T1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline engine: %d/%d assigned (%.1f%%), %v cpu/instant\n",
+		res.Assigned, len(sc.Tasks), 100*float64(res.Assigned)/float64(len(sc.Tasks)), res.AvgPlanTime)
+
+	// Live: the same trace through the sharded dispatch service.
+	d, err := fw.NewDispatcher(datawa.MethodGreedy, datawa.DispatchConfig{Shards: 2, Step: 2, Now: sc.T0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range sc.Workers {
+		d.Ingest(datawa.WorkerOnlineEvent(w))
+	}
+	for _, task := range sc.Tasks {
+		d.Ingest(datawa.TaskSubmitEvent(task))
+	}
+	d.Advance(sc.T1)
+	m := d.Snapshot()
+	fmt.Printf("live dispatch:  %d/%d assigned (%.1f%%), epoch p95 %v over %d epochs\n",
+		m.Assigned, len(sc.Tasks), 100*float64(m.Assigned)/float64(len(sc.Tasks)), m.EpochP95, m.Epochs)
+}

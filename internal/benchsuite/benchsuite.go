@@ -1,0 +1,397 @@
+// Package benchsuite runs the scenario-atlas benchmark suite: every
+// registered archetype (internal/scenario) × assignment method × density
+// scale, each replayed through both the offline stream engine
+// (datawa.Framework.Run) and the live dispatch path (dispatch.LoadGen over a
+// sharded Dispatcher). The result is a schema-versioned Report — the
+// BENCH_*.json files at the repo root — recording throughput, epoch latency
+// percentiles, assignment rate, and allocations, so successive PRs can
+// compare performance against the committed snapshot.
+//
+// Assignment outcomes (assigned/expired counts, and therefore
+// assignment_rate) are deterministic given the archetype seed, at every
+// parallelism level and on every machine; wall-clock and allocation figures
+// are informational and host-dependent. Compare therefore gates only on
+// assignment rate. docs/BENCHMARKS.md documents the schema and the
+// regeneration policy.
+package benchsuite
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/dispatch"
+	"repro/internal/scenario"
+)
+
+// Schema identifies the Report wire format. Bump the suffix on any
+// incompatible change and teach Validate both versions for one release.
+const Schema = "datawa-bench-suite/1"
+
+// Options parameterizes one suite run. The zero value runs every registered
+// archetype with the training-free methods at 1x and 5x density.
+type Options struct {
+	// Scenarios selects atlas archetypes by name (empty = all registered).
+	Scenarios []string
+	// Scales lists the density multipliers per archetype (empty = 1, 5).
+	Scales []float64
+	// Methods lists assignment methods (empty = Greedy, DTA — the
+	// training-free pair; DTA+TP and DATA-WA train their models per cell
+	// and cost accordingly).
+	Methods []string
+	// Step is the planning epoch length in seconds (default 2).
+	Step float64
+	// Shards is the live path's dispatcher shard count (default 2).
+	Shards int
+	// Parallelism bounds planner fan-out (0 = one goroutine per CPU).
+	Parallelism int
+	// MaxNodes caps exact-search effort per planning call (default 4000).
+	MaxNodes int
+	// Log, when non-nil, receives one progress line per cell.
+	Log func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Scenarios) == 0 {
+		o.Scenarios = scenario.Names()
+	}
+	if len(o.Scales) == 0 {
+		o.Scales = []float64{1, 5}
+	}
+	if len(o.Methods) == 0 {
+		o.Methods = []string{string(datawa.MethodGreedy), string(datawa.MethodDTA)}
+	}
+	if o.Step <= 0 {
+		o.Step = 2
+	}
+	if o.Shards <= 0 {
+		o.Shards = 2
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 4000
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return o
+}
+
+// Report is the suite's machine-readable result document.
+type Report struct {
+	// Schema is the wire-format version tag (the Schema constant).
+	Schema string `json:"schema"`
+	// GoVersion, OS and Arch identify the host toolchain; wall-clock and
+	// allocation figures are only comparable within a matching triple.
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	// Scales, Methods, Step, Shards and Parallelism echo the options that
+	// produced the report.
+	Scales      []float64 `json:"scales"`
+	Methods     []string  `json:"methods"`
+	Step        float64   `json:"step_seconds"`
+	Shards      int       `json:"shards"`
+	Parallelism int       `json:"parallelism"`
+	// Results holds one cell per scenario × scale × method, in scenario
+	// name order.
+	Results []Cell `json:"results"`
+}
+
+// Cell is one suite cell: a scenario at one density, run with one method
+// through both execution paths.
+type Cell struct {
+	// Scenario is the atlas archetype name.
+	Scenario string `json:"scenario"`
+	// Scale is the density multiplier the archetype ran at.
+	Scale float64 `json:"scale"`
+	// Method is the assignment method (datawa.Method wire name).
+	Method string `json:"method"`
+	// Workers is the number of availability segments in the trace (break
+	// splits count twice); Tasks the number of real tasks.
+	Workers int `json:"workers"`
+	Tasks   int `json:"tasks"`
+	// Offline replays the trace through the stream engine; Live replays
+	// the same trace through the sharded dispatch service.
+	Offline Path `json:"offline"`
+	Live    Path `json:"live"`
+}
+
+// Path is one execution path's measurement.
+type Path struct {
+	// Assigned and Expired are the run's terminal task counts;
+	// AssignmentRate is Assigned / Tasks.
+	Assigned       int     `json:"assigned"`
+	Expired        int     `json:"expired"`
+	AssignmentRate float64 `json:"assignment_rate"`
+	// PlanCalls counts planner invocations; AvgPlanNS is the paper's
+	// CPU-per-instant metric in nanoseconds.
+	PlanCalls int   `json:"plan_calls"`
+	AvgPlanNS int64 `json:"avg_plan_ns"`
+	// WallMS is the path's wall-clock time; EventsPerSec the replay
+	// throughput (worker + task arrivals per wall second).
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocBytes and Allocs are the Go heap deltas over the run.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Allocs     uint64 `json:"allocs"`
+	// Epochs, Shards and the epoch latency percentiles are live-path only
+	// (zero offline).
+	Epochs     int   `json:"epochs,omitempty"`
+	Shards     int   `json:"shards,omitempty"`
+	EpochP50NS int64 `json:"epoch_p50_ns,omitempty"`
+	EpochP95NS int64 `json:"epoch_p95_ns,omitempty"`
+	EpochP99NS int64 `json:"epoch_p99_ns,omitempty"`
+}
+
+// Run executes the suite and returns a validated report.
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	r := &Report{
+		Schema:      Schema,
+		GoVersion:   runtime.Version(),
+		OS:          runtime.GOOS,
+		Arch:        runtime.GOARCH,
+		Scales:      opts.Scales,
+		Methods:     opts.Methods,
+		Step:        opts.Step,
+		Shards:      opts.Shards,
+		Parallelism: opts.Parallelism,
+	}
+	for _, name := range opts.Scenarios {
+		arch, ok := scenario.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("benchsuite: unknown scenario %q (atlas: %v)", name, scenario.Names())
+		}
+		for _, f := range opts.Scales {
+			sc := arch.Generate(f)
+			for _, method := range opts.Methods {
+				cell, err := runCell(arch, sc, f, datawa.Method(method), opts)
+				if err != nil {
+					return nil, fmt.Errorf("benchsuite: %s %gx %s: %w", name, f, method, err)
+				}
+				r.Results = append(r.Results, cell)
+				opts.Log("%-13s %4gx %-8s offline %5.1f%% %8.0f ev/s | live %5.1f%% %8.0f ev/s p95 %s",
+					name, f, method,
+					100*cell.Offline.AssignmentRate, cell.Offline.EventsPerSec,
+					100*cell.Live.AssignmentRate, cell.Live.EventsPerSec,
+					time.Duration(cell.Live.EpochP95NS).Round(time.Microsecond))
+			}
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("benchsuite: generated report is invalid: %w", err)
+	}
+	return r, nil
+}
+
+// framework builds and, for the prediction methods, trains one Framework for
+// a cell.
+func framework(sc *datawa.Scenario, m datawa.Method, opts Options) (*datawa.Framework, error) {
+	c := sc.Config
+	fw := datawa.New(datawa.Config{
+		Region:   c.Region,
+		GridRows: c.GridRows, GridCols: c.GridCols,
+		Step: opts.Step, Seed: c.Seed,
+		Parallelism:    opts.Parallelism,
+		MaxSearchNodes: opts.MaxNodes,
+	})
+	if m == datawa.MethodDTATP || m == datawa.MethodDATAWA {
+		if err := fw.TrainDemand(sc.History); err != nil {
+			return nil, err
+		}
+	}
+	if m == datawa.MethodDATAWA {
+		if err := fw.TrainValue(sc.Workers, sc.Tasks, 6); err != nil {
+			return nil, err
+		}
+	}
+	return fw, nil
+}
+
+// runCell measures one scenario × scale × method through both paths.
+func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.Method, opts Options) (Cell, error) {
+	cell := Cell{
+		Scenario: arch.Name, Scale: f, Method: string(m),
+		Workers: len(sc.Workers), Tasks: len(sc.Tasks),
+	}
+	events := len(sc.Workers) + len(sc.Tasks)
+
+	// Offline: the closed-trace stream engine.
+	fw, err := framework(sc, m, opts)
+	if err != nil {
+		return Cell{}, err
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res, err := fw.Run(m, sc.Workers, sc.Tasks, sc.T0, sc.T1)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return Cell{}, err
+	}
+	cell.Offline = Path{
+		Assigned: res.Assigned, Expired: res.Expired,
+		AssignmentRate: rate(res.Assigned, len(sc.Tasks)),
+		PlanCalls:      res.PlanCalls,
+		AvgPlanNS:      res.AvgPlanTime.Nanoseconds(),
+		WallMS:         float64(wall.Microseconds()) / 1000,
+		EventsPerSec:   perSec(events, wall),
+		AllocBytes:     m1.TotalAlloc - m0.TotalAlloc,
+		Allocs:         m1.Mallocs - m0.Mallocs,
+	}
+
+	// Live: the same trace through the sharded dispatch service. A fresh
+	// framework keeps any forecaster state of the offline run out of the
+	// measurement.
+	fw, err = framework(sc, m, opts)
+	if err != nil {
+		return Cell{}, err
+	}
+	d, err := fw.NewDispatcher(m, datawa.DispatchConfig{Shards: opts.Shards, Step: opts.Step, Now: sc.T0})
+	if err != nil {
+		return Cell{}, err
+	}
+	g := dispatch.LoadGen{Events: sc.Events(), T1: sc.T1}
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	lr := g.Run(d)
+	runtime.ReadMemStats(&m1)
+	met := lr.Metrics
+	avgPlan := int64(0)
+	if met.PlanCalls > 0 {
+		avgPlan = met.PlanTime.Nanoseconds() / int64(met.PlanCalls)
+	}
+	cell.Live = Path{
+		Assigned: met.Assigned, Expired: met.Expired,
+		AssignmentRate: rate(met.Assigned, len(sc.Tasks)),
+		PlanCalls:      met.PlanCalls,
+		AvgPlanNS:      avgPlan,
+		WallMS:         float64(lr.Wall.Microseconds()) / 1000,
+		EventsPerSec:   lr.AchievedRate,
+		AllocBytes:     m1.TotalAlloc - m0.TotalAlloc,
+		Allocs:         m1.Mallocs - m0.Mallocs,
+		Epochs:         met.Epochs,
+		Shards:         opts.Shards,
+		EpochP50NS:     met.EpochP50.Nanoseconds(),
+		EpochP95NS:     met.EpochP95.Nanoseconds(),
+		EpochP99NS:     met.EpochP99.Nanoseconds(),
+	}
+	return cell, nil
+}
+
+func rate(assigned, tasks int) float64 {
+	if tasks == 0 {
+		return 0
+	}
+	return float64(assigned) / float64(tasks)
+}
+
+func perSec(events int, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(events) / wall.Seconds()
+}
+
+// Validate checks the report's structure against the schema: version tag,
+// non-empty results, and per-cell field sanity. It does not compare against
+// another snapshot — that is Compare's job.
+func (r *Report) Validate() error {
+	if r == nil {
+		return fmt.Errorf("nil report")
+	}
+	if r.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", r.Schema, Schema)
+	}
+	if len(r.Results) == 0 {
+		return fmt.Errorf("report has no results")
+	}
+	for i, c := range r.Results {
+		where := fmt.Sprintf("results[%d] (%s %gx %s)", i, c.Scenario, c.Scale, c.Method)
+		if c.Scenario == "" || c.Method == "" {
+			return fmt.Errorf("%s: missing scenario or method", where)
+		}
+		if c.Scale <= 0 || math.IsNaN(c.Scale) {
+			return fmt.Errorf("%s: bad scale", where)
+		}
+		if c.Workers <= 0 || c.Tasks <= 0 {
+			return fmt.Errorf("%s: empty population", where)
+		}
+		for _, p := range []struct {
+			name string
+			p    Path
+			live bool
+		}{{"offline", c.Offline, false}, {"live", c.Live, true}} {
+			if p.p.AssignmentRate < 0 || p.p.AssignmentRate > 1 || math.IsNaN(p.p.AssignmentRate) {
+				return fmt.Errorf("%s: %s assignment_rate %v out of [0,1]", where, p.name, p.p.AssignmentRate)
+			}
+			if p.p.Assigned+p.p.Expired > c.Tasks {
+				return fmt.Errorf("%s: %s assigned+expired %d exceeds %d tasks", where, p.name, p.p.Assigned+p.p.Expired, c.Tasks)
+			}
+			if p.p.Assigned < 0 || p.p.Expired < 0 || p.p.PlanCalls <= 0 || p.p.WallMS < 0 {
+				return fmt.Errorf("%s: %s has negative or zero counters", where, p.name)
+			}
+			if p.live {
+				if p.p.Epochs <= 0 || p.p.Shards <= 0 {
+					return fmt.Errorf("%s: live path missing epochs/shards", where)
+				}
+				if p.p.EpochP50NS > p.p.EpochP95NS || p.p.EpochP95NS > p.p.EpochP99NS || p.p.EpochP50NS < 0 {
+					return fmt.Errorf("%s: epoch percentiles not monotone", where)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Compare gates a new report against a baseline snapshot: for every cell
+// present in both (matched by scenario, scale, method), the offline and live
+// assignment rates may not drop by more than maxRelDrop (e.g. 0.10 = 10%)
+// relative to the baseline. Wall-clock and allocation figures are
+// host-dependent and never gate. It returns the number of cells compared.
+func Compare(base, cur *Report, maxRelDrop float64) (int, error) {
+	if err := base.Validate(); err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	if err := cur.Validate(); err != nil {
+		return 0, fmt.Errorf("new report: %w", err)
+	}
+	key := func(c Cell) string { return fmt.Sprintf("%s|%g|%s", c.Scenario, c.Scale, c.Method) }
+	baseBy := make(map[string]Cell, len(base.Results))
+	for _, c := range base.Results {
+		baseBy[key(c)] = c
+	}
+	compared := 0
+	var regressions []string
+	for _, c := range cur.Results {
+		b, ok := baseBy[key(c)]
+		if !ok {
+			continue
+		}
+		compared++
+		check := func(path string, baseRate, curRate float64) {
+			if baseRate > 0 && curRate < baseRate*(1-maxRelDrop) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s %gx %s %s: assignment rate %.3f → %.3f (>%.0f%% drop)",
+					c.Scenario, c.Scale, c.Method, path, baseRate, curRate, 100*maxRelDrop))
+			}
+		}
+		check("offline", b.Offline.AssignmentRate, c.Offline.AssignmentRate)
+		check("live", b.Live.AssignmentRate, c.Live.AssignmentRate)
+	}
+	if compared == 0 {
+		return 0, fmt.Errorf("no overlapping cells between the reports — scenario or method sets diverged")
+	}
+	if len(regressions) > 0 {
+		msg := ""
+		for _, line := range regressions {
+			msg += "\n  " + line
+		}
+		return compared, fmt.Errorf("%d assignment-rate regression(s):%s", len(regressions), msg)
+	}
+	return compared, nil
+}

@@ -1,0 +1,130 @@
+package benchsuite
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions is a seconds-fast suite slice used by every test here.
+func tinyOptions() Options {
+	return Options{
+		Scenarios: []string{"yueche", "multi-city"},
+		Scales:    []float64{0.3},
+		Methods:   []string{"Greedy"},
+		Step:      4,
+		Shards:    2,
+	}
+}
+
+func TestSuiteRunsAndValidates(t *testing.T) {
+	r, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(r.Results), 2; got != want {
+		t.Fatalf("suite produced %d cells, want %d", got, want)
+	}
+	for _, c := range r.Results {
+		if c.Offline.PlanCalls == 0 || c.Live.Epochs == 0 {
+			t.Errorf("%s: empty measurement %+v", c.Scenario, c)
+		}
+		if c.Live.EventsPerSec <= 0 || c.Offline.EventsPerSec <= 0 {
+			t.Errorf("%s: missing throughput", c.Scenario)
+		}
+	}
+}
+
+// TestSuiteAssignmentRatesDeterministic pins the property Compare relies on:
+// re-running the same suite slice reproduces assignment outcomes exactly,
+// so only genuine regressions trip the CI gate.
+func TestSuiteAssignmentRatesDeterministic(t *testing.T) {
+	first, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Results {
+		a, b := first.Results[i], second.Results[i]
+		if a.Offline.Assigned != b.Offline.Assigned || a.Live.Assigned != b.Live.Assigned {
+			t.Fatalf("%s: assigned %d/%d vs %d/%d across identical runs",
+				a.Scenario, a.Offline.Assigned, a.Live.Assigned, b.Offline.Assigned, b.Live.Assigned)
+		}
+	}
+	if n, err := Compare(first, second, 0.10); err != nil || n != 2 {
+		t.Fatalf("self-compare: %d cells, err %v", n, err)
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := *base
+	cur.Results = append([]Cell(nil), base.Results...)
+	cur.Results[0].Offline.AssignmentRate = base.Results[0].Offline.AssignmentRate * 0.5
+	if _, err := Compare(base, &cur, 0.10); err == nil {
+		t.Fatal("halved assignment rate must fail the gate")
+	} else if !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// A drop inside the tolerance passes.
+	cur.Results[0].Offline.AssignmentRate = base.Results[0].Offline.AssignmentRate * 0.95
+	if _, err := Compare(base, &cur, 0.10); err != nil {
+		t.Fatalf("5%% drop within 10%% tolerance must pass: %v", err)
+	}
+}
+
+func TestCompareRejectsDisjointReports(t *testing.T) {
+	base, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := *base
+	cur.Results = append([]Cell(nil), base.Results...)
+	for i := range cur.Results {
+		cur.Results[i].Scenario = "renamed-" + cur.Results[i].Scenario
+	}
+	if _, err := Compare(base, &cur, 0.10); err == nil {
+		t.Fatal("disjoint cell sets must not silently pass")
+	}
+}
+
+func TestValidateRejectsMalformedReports(t *testing.T) {
+	good, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "datawa-bench-suite/0" }},
+		{"no results", func(r *Report) { r.Results = nil }},
+		{"rate out of range", func(r *Report) { r.Results[0].Offline.AssignmentRate = 1.5 }},
+		{"conservation", func(r *Report) { r.Results[0].Live.Assigned = r.Results[0].Tasks + 1 }},
+		{"percentile order", func(r *Report) { r.Results[0].Live.EpochP50NS = r.Results[0].Live.EpochP99NS + 1 }},
+		{"missing scenario", func(r *Report) { r.Results[0].Scenario = "" }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := *good
+			bad.Results = append([]Cell(nil), good.Results...)
+			tc.mutate(&bad)
+			if err := bad.Validate(); err == nil {
+				t.Fatal("malformed report passed validation")
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	opts := tinyOptions()
+	opts.Scenarios = []string{"atlantis"}
+	if _, err := Run(opts); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}

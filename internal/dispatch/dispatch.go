@@ -20,6 +20,21 @@
 // goroutines and never touches planner state: producers only append to the
 // queue. All planning happens inside Advance/Tick under the dispatcher's
 // epoch lock, which Snapshot and PlanOf also take.
+//
+// Known fidelity tradeoff (multi-shard): a worker only ever sees tasks of
+// its own shard, and cells are interleaved across shards (cell % Shards),
+// so a worker whose reach disc spans neighboring cells is blind to the
+// fraction of them owned by other shards — multi-shard assignment counts
+// run below the single-shard reference, deterministically so.
+// docs/BENCHMARKS.md documents the tradeoff and how the suite records it;
+// the scenario atlas's multi-city archetype stresses exactly this routing
+// (two hotspot clusters whose demand must stay balanced across shards).
+//
+// Measurement: Snapshot exposes counters and epoch-latency percentiles;
+// LoadGen replays a workload.Scenario trace against a dispatcher for
+// closed-loop throughput runs. The benchmark suite (internal/benchsuite,
+// cmd/datawa-bench -suite) drives exactly that pair for the live-path
+// figures in BENCH_*.json.
 package dispatch
 
 import (

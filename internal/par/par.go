@@ -3,6 +3,22 @@
 // of goroutines. Callers write results into per-index slots, so output order
 // never depends on scheduling and a serial run (workers ≤ 1) is the exact
 // reference semantics of every parallel run.
+//
+// Two layers of the pipeline fan out through it, and both advertise the same
+// contract — results byte-identical at every parallelism level, only CPU
+// time changes:
+//
+//   - assign.Search fans one planning instant across RTC components
+//     (per-tree search with order-independent merging);
+//   - dispatch fans one epoch across region shards, splitting the caller's
+//     parallelism budget between the shard fan-out and each shard planner's
+//     internal fan-out so the cores are not oversubscribed Shards-fold.
+//
+// That contract is what lets the benchmark suite (internal/benchsuite)
+// compare assignment rates across machines with different core counts: the
+// knob moves wall-clock and the CPU-per-instant metric, never the plan. Every
+// caller resolves its setting through Workers — 0 means one goroutine per
+// CPU, values below 1 mean serial, and the job count caps the answer.
 package par
 
 import (

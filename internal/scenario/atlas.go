@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"repro/internal/geo"
+	"repro/internal/workload"
+)
+
+// The atlas. Base cardinalities are laptop-sized (a 1x suite cell runs in
+// seconds); the Scale knob takes every archetype to 5x/20x density for load
+// runs. Seeds are fixed per archetype so traces are reproducible across
+// commits; docs/SCENARIOS.md documents each regime in depth.
+func init() {
+	Register(Archetype{
+		Name:    "yueche",
+		Summary: "Yueche analogue (Table II): drifting hotspots, two-rush intensity",
+		Stress:  "the paper's baseline regime; sanity anchor for every method",
+		Base:    workload.Yueche().Scaled(0.05),
+	})
+	Register(Archetype{
+		Name:    "didi",
+		Summary: "DiDi analogue (Table II): denser evening-window Chengdu trace",
+		Stress:  "baseline regime at a higher task-to-worker ratio",
+		Base:    workload.DiDi().Scaled(0.05),
+	})
+	Register(Archetype{
+		Name:    "rush-hour",
+		Summary: "sharp bimodal commuter peaks with corridor dependencies",
+		Stress:  "bursty replanning load and lagged cross-region demand learning",
+		Base: workload.Config{
+			Name: "rush-hour", Seed: 11,
+			Region:   geo.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4},
+			GridRows: 6, GridCols: 6,
+			NumWorkers: 120, NumTasks: 850,
+			Duration: 1200, HistoryDuration: 600,
+			TaskValid: 40, WorkerReach: 1, WorkerAvail: 500,
+			Hotspots: 6, HotspotStd: 0.18, Background: 0.06,
+			DependencyPairs: 6, DependencyLag: 30, DependencyProb: 0.9,
+			RegimePeriod: 600,
+			// Two sharp commuter peaks at 22% and 78% of the window over a
+			// low off-peak floor.
+			Peaks: []workload.IntensityPeak{
+				{Center: 0.22, Width: 0.07, Amp: 3},
+				{Center: 0.78, Width: 0.07, Amp: 3},
+			},
+			IntensityFloor: 0.2,
+		},
+	})
+	Register(Archetype{
+		Name:    "event-spike",
+		Summary: "stadium flash crowd: one extreme peak, post-event dispersal",
+		Stress:  "queue backlog absorption and short-horizon demand prediction",
+		Base: workload.Config{
+			Name: "event-spike", Seed: 12,
+			Region:   geo.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4},
+			GridRows: 6, GridCols: 6,
+			NumWorkers: 110, NumTasks: 750,
+			Duration: 1200, HistoryDuration: 600,
+			TaskValid: 45, WorkerReach: 1, WorkerAvail: 600,
+			// Two tight hotspots — the stadium gates — and dispersal
+			// dependencies that carry demand outward after the final whistle.
+			Hotspots: 2, HotspotStd: 0.1, Background: 0.08,
+			DependencyPairs: 6, DependencyLag: 60, DependencyProb: 0.9,
+			RegimePeriod: 0,
+			Peaks: []workload.IntensityPeak{
+				{Center: 0.55, Width: 0.035, Amp: 7},
+			},
+			IntensityFloor: 0.08,
+		},
+	})
+	Register(Archetype{
+		Name:    "sparse-suburb",
+		Summary: "low density, long reachable distances, wide availability windows",
+		Stress:  "spatial-index sparsity and long-haul travel-time feasibility",
+		Base: workload.Config{
+			Name: "sparse-suburb", Seed: 13,
+			Region:   geo.Rect{MinX: 0, MinY: 0, MaxX: 12, MaxY: 12},
+			GridRows: 6, GridCols: 6,
+			NumWorkers: 50, NumTasks: 280,
+			Duration: 1500, HistoryDuration: 600,
+			TaskValid: 150, WorkerReach: 3.5, WorkerAvail: 1200,
+			Hotspots: 3, HotspotStd: 0.9, Background: 0.4,
+			DependencyPairs: 1, DependencyLag: 45, DependencyProb: 0.7,
+			RegimePeriod: 600,
+		},
+	})
+	Register(Archetype{
+		Name:    "courier-grid",
+		Summary: "food-delivery grid: many short tasks, short windows, worker churn",
+		Stress:  "per-epoch admission/expiry turnover and routing-map retirement",
+		Base: workload.Config{
+			Name: "courier-grid", Seed: 14,
+			Region:   geo.Rect{MinX: 0, MinY: 0, MaxX: 3, MaxY: 3},
+			GridRows: 6, GridCols: 6,
+			NumWorkers: 170, NumTasks: 1400,
+			Duration: 900, HistoryDuration: 450,
+			// Short validity, short shifts, frequent breaks: the population
+			// the dispatcher sees churns continuously.
+			TaskValid: 25, WorkerReach: 0.5, WorkerAvail: 150,
+			Hotspots: 8, HotspotStd: 0.12, Background: 0.12,
+			DependencyPairs: 3, DependencyLag: 20, DependencyProb: 0.8,
+			RegimePeriod: 300,
+			BreakProb:    0.35, BreakLength: 45,
+		},
+	})
+	Register(Archetype{
+		Name:    "multi-city",
+		Summary: "two disjoint hotspot clusters separated by an empty corridor",
+		Stress:  "dispatch sharding: cross-shard routing stays cold, shards balance",
+		Base: workload.Config{
+			Name: "multi-city", Seed: 15,
+			Region:   geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 4},
+			GridRows: 4, GridCols: 10,
+			NumWorkers: 140, NumTasks: 900,
+			Duration: 1200, HistoryDuration: 600,
+			TaskValid: 40, WorkerReach: 1, WorkerAvail: 600,
+			Hotspots: 6, HotspotStd: 0.2, Background: 0.04,
+			DependencyPairs: 4, DependencyLag: 30, DependencyProb: 0.85,
+			RegimePeriod: 400,
+			// Three hotspots per city; the 2 km corridor between the zones
+			// stays empty, so a grid-sharded dispatcher sees two nearly
+			// independent sub-populations.
+			HotspotZones: []geo.Rect{
+				zone(0, 0, 4, 4),
+				zone(6, 0, 10, 4),
+			},
+		},
+	})
+}

@@ -1,0 +1,24 @@
+package scenario_test
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// ExampleRegistry walks the atlas: every registered archetype, its one-line
+// regime summary, and its 1x cardinalities.
+func ExampleRegistry() {
+	for _, a := range scenario.Registry() {
+		c := a.Scale(1)
+		fmt.Printf("%-13s %4d workers %5d tasks  %s\n", a.Name, c.NumWorkers, c.NumTasks, a.Summary)
+	}
+	// Output:
+	// courier-grid   170 workers  1400 tasks  food-delivery grid: many short tasks, short windows, worker churn
+	// didi            38 workers   443 tasks  DiDi analogue (Table II): denser evening-window Chengdu trace
+	// event-spike    110 workers   750 tasks  stadium flash crowd: one extreme peak, post-event dispersal
+	// multi-city     140 workers   900 tasks  two disjoint hotspot clusters separated by an empty corridor
+	// rush-hour      120 workers   850 tasks  sharp bimodal commuter peaks with corridor dependencies
+	// sparse-suburb   50 workers   280 tasks  low density, long reachable distances, wide availability windows
+	// yueche          31 workers   552 tasks  Yueche analogue (Table II): drifting hotspots, two-rush intensity
+}

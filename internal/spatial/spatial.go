@@ -17,6 +17,16 @@
 // were given to NewIndex, regardless of cell geometry. The brute-force scan
 // and the index are therefore interchangeable everywhere — the invariant the
 // package tests pin down against a linear-scan oracle.
+//
+// Cost model: building an Index is O(|S|) map inserts; one radius-d query
+// scans the cells the disc overlaps plus an exact distance check per
+// candidate. The win over brute force grows with task count and demand
+// concentration — the courier-grid archetype (hundreds of tasks packed into
+// a 3 km square) is the regime the index exists for, while sparse-suburb
+// (tens of tasks spread over 144 km²) leaves so few candidates per query
+// that the linear scan is competitive. The scenario atlas
+// (internal/scenario, docs/SCENARIOS.md) names both regimes so the benchmark
+// suite exercises the index at its best and worst.
 package spatial
 
 import (

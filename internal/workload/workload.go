@@ -73,6 +73,23 @@ type Config struct {
 	// this many seconds.
 	RegimePeriod float64
 
+	// Peaks, when non-empty, replaces the default two-rush sinusoid with an
+	// explicit temporal intensity profile: IntensityFloor plus one Gaussian
+	// bump per peak. Scenario archetypes use it for regimes the default
+	// shape cannot express — a sharp commuter bimodal, a stadium flash
+	// crowd. An empty slice keeps the legacy profile and generates traces
+	// byte-identical to earlier versions of this package.
+	Peaks []IntensityPeak
+	// IntensityFloor is the base arrival intensity under the peaks
+	// (default 0.15; only read when Peaks is non-empty).
+	IntensityFloor float64
+
+	// HotspotZones, when non-empty, restricts hotspot placement: hotspot i
+	// is centered inside HotspotZones[i mod len]. Archetypes use it to pin
+	// demand to disjoint sub-regions (e.g. two cities far apart, stressing
+	// dispatch sharding). Empty places hotspots anywhere on the grid.
+	HotspotZones []geo.Rect
+
 	// BreakProb is the probability that a worker's availability window is
 	// interrupted by an unplanned break — the "dynamic worker availability
 	// windows" of the paper's title (Section IV: windows "can change
@@ -133,11 +150,29 @@ func (c Config) Scaled(f float64) Config {
 	return c
 }
 
+// IntensityPeak is one Gaussian bump of a custom temporal intensity profile
+// (Config.Peaks). Center and Width are fractions of the assignment window
+// [0, Duration) — Center 0.5 peaks mid-run, negative Center reaches into the
+// history window — so the profile's shape survives Scaled, which stretches
+// Duration.
+type IntensityPeak struct {
+	// Center is the peak instant as a fraction of the assignment window.
+	Center float64
+	// Width is the Gaussian standard deviation, as a window fraction.
+	Width float64
+	// Amp is the peak height added on top of Config.IntensityFloor.
+	Amp float64
+}
+
 // Scenario is a fully generated trace.
 type Scenario struct {
-	Config  Config
-	Grid    geo.Grid
-	Workers []*core.Worker
+	Config Config
+	Grid   geo.Grid
+	// HotspotCells records the grid cell of each demand hotspot, in
+	// generation order. Scenario-atlas invariant checks read it; len equals
+	// Config.Hotspots.
+	HotspotCells []int
+	Workers      []*core.Worker
 	// History holds tasks published in [−HistoryDuration, 0): prediction
 	// training data, never assigned.
 	History []*core.Task
@@ -193,12 +228,25 @@ func Generate(c Config) *Scenario {
 	// one cell instead of straddling corners.
 	spots := make([]hotspot, c.Hotspots)
 	usedCenters := make(map[int]bool)
+	// pickCell draws a candidate hotspot cell: anywhere on the grid, or —
+	// when zones constrain placement — inside hotspot i's zone.
+	pickCell := func(i int) int {
+		if len(c.HotspotZones) == 0 {
+			return rng.Intn(grid.Cells())
+		}
+		z := c.HotspotZones[i%len(c.HotspotZones)]
+		return grid.CellOf(c.Region.Clamp(geo.Point{
+			X: z.MinX + rng.Float64()*z.Width(),
+			Y: z.MinY + rng.Float64()*z.Height(),
+		}))
+	}
 	for i := range spots {
-		cell := rng.Intn(grid.Cells())
+		cell := pickCell(i)
 		for tries := 0; usedCenters[cell] && tries < 16; tries++ {
-			cell = rng.Intn(grid.Cells())
+			cell = pickCell(i)
 		}
 		usedCenters[cell] = true
+		s.HotspotCells = append(s.HotspotCells, cell)
 		spots[i] = hotspot{
 			center: grid.Center(cell),
 			weight: [2]float64{0.5 + rng.Float64(), 0.5 + rng.Float64()},
@@ -252,18 +300,42 @@ func Generate(c Config) *Scenario {
 	}
 
 	// Temporal intensity: a base load with two rush peaks across the
-	// combined history+run horizon.
+	// combined history+run horizon, unless Config.Peaks supplies an
+	// explicit profile.
 	horizon := c.HistoryDuration + c.Duration
 	intensity := func(t float64) float64 {
 		x := (t + c.HistoryDuration) / horizon // 0..1
 		return 1 + 0.6*math.Sin(2*math.Pi*x) + 0.4*math.Sin(4*math.Pi*x+1.3)
+	}
+	bound := 2.0 // the legacy profile stays below 2
+	if len(c.Peaks) > 0 {
+		floor := c.IntensityFloor
+		if floor <= 0 {
+			floor = 0.15
+		}
+		bound = floor
+		for _, p := range c.Peaks {
+			bound += p.Amp
+		}
+		intensity = func(t float64) float64 {
+			x := t / c.Duration
+			v := floor
+			for _, p := range c.Peaks {
+				if p.Width <= 0 {
+					continue
+				}
+				d := (x - p.Center) / p.Width
+				v += p.Amp * math.Exp(-0.5*d*d)
+			}
+			return v
+		}
 	}
 
 	sampleTime := func(from, span float64) float64 {
 		// Rejection sampling against the bounded intensity.
 		for {
 			t := from + rng.Float64()*span
-			if rng.Float64()*2.0 < intensity(t) {
+			if rng.Float64()*bound < intensity(t) {
 				return t
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/geo"
 	"repro/internal/predict"
 )
 
@@ -261,6 +262,78 @@ func TestBreaksDeterministic(t *testing.T) {
 	for i := range a.Workers {
 		if a.Workers[i].On != b.Workers[i].On || a.Workers[i].Off != b.Workers[i].Off {
 			t.Fatal("segment windows differ across identical seeds")
+		}
+	}
+}
+
+func TestHotspotZonesConstrainPlacement(t *testing.T) {
+	c := Yueche().Scaled(0.05)
+	c.Region = geo.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 4}
+	c.GridRows = 4
+	c.GridCols = 10
+	c.HotspotZones = []geo.Rect{
+		{MinX: 0, MinY: 0, MaxX: 3, MaxY: 4},
+		{MinX: 7, MinY: 0, MaxX: 10, MaxY: 4},
+	}
+	s := Generate(c)
+	if len(s.HotspotCells) != c.Hotspots {
+		t.Fatalf("recorded %d hotspot cells, want %d", len(s.HotspotCells), c.Hotspots)
+	}
+	for i, cell := range s.HotspotCells {
+		zone := c.HotspotZones[i%len(c.HotspotZones)]
+		center := s.Grid.Center(cell)
+		// The cell's center may sit up to half a cell outside the zone when
+		// the sampled point lands near the zone edge.
+		slackX := s.Grid.CellRect(cell).Width() / 2
+		slackY := s.Grid.CellRect(cell).Height() / 2
+		if center.X < zone.MinX-slackX || center.X > zone.MaxX+slackX ||
+			center.Y < zone.MinY-slackY || center.Y > zone.MaxY+slackY {
+			t.Errorf("hotspot %d cell center %v escapes zone %v", i, center, zone)
+		}
+	}
+}
+
+func TestHotspotCellsRecordedWithoutZones(t *testing.T) {
+	c := DiDi().Scaled(0.05)
+	s := Generate(c)
+	if len(s.HotspotCells) != c.Hotspots {
+		t.Fatalf("recorded %d hotspot cells, want %d", len(s.HotspotCells), c.Hotspots)
+	}
+}
+
+func TestPeaksConcentrateArrivals(t *testing.T) {
+	c := Yueche().Scaled(0.1)
+	c.HistoryDuration = 0
+	c.Peaks = []IntensityPeak{{Center: 0.5, Width: 0.05, Amp: 8}}
+	c.IntensityFloor = 0.1
+	s := Generate(c)
+	in := 0
+	for _, task := range s.Tasks {
+		x := task.Pub / c.Duration
+		if x > 0.35 && x < 0.65 {
+			in++
+		}
+	}
+	// With a sharp mid-run peak over a 0.1 floor, far more than the uniform
+	// 30% of arrivals must land inside the central band.
+	if frac := float64(in) / float64(len(s.Tasks)); frac < 0.6 {
+		t.Errorf("only %.0f%% of arrivals inside the peak band, want sharp concentration", 100*frac)
+	}
+}
+
+func TestPeaksDoNotPerturbLegacyTraces(t *testing.T) {
+	// The new knobs must leave the RNG stream of legacy configs untouched:
+	// an unset Peaks/HotspotZones config generates the same trace the
+	// pre-atlas generator did, which the cross-PR BENCH trajectory relies
+	// on.
+	a := Generate(Yueche().Scaled(0.05))
+	b := Generate(Yueche().Scaled(0.05))
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatal("legacy generation became nondeterministic")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i].Pub != b.Tasks[i].Pub || a.Tasks[i].Loc != b.Tasks[i].Loc {
+			t.Fatal("legacy task stream differs across identical seeds")
 		}
 	}
 }
