@@ -7,9 +7,10 @@
 // perf-sensitive PRs regenerate and CI gates on (see docs/BENCHMARKS.md):
 //
 //	datawa-bench -suite -json
-//	datawa-bench -suite -scales 1,5,20 -methods Greedy,DTA -json=BENCH_3.json
-//	datawa-bench -suite -scales 1 -json=BENCH_ci.json -compare BENCH_3.json
-//	datawa-bench -validate BENCH_3.json
+//	datawa-bench -suite -scales 1,5,20 -methods Greedy,DTA -json=BENCH_4.json
+//	datawa-bench -suite -scales 1 -json=BENCH_ci.json -compare BENCH_4.json
+//	datawa-bench -suite -scales 1 -shards 4 -max-gap 0.01 -json=-
+//	datawa-bench -validate BENCH_4.json
 //
 // Experiment mode (-run) regenerates the tables and figures of the paper's
 // evaluation (Section V) on the synthetic Yueche/DiDi workloads and prints
@@ -24,9 +25,9 @@
 // full (paper cardinalities; hours for the whole suite).
 //
 // -json writes one machine-readable document covering the whole run. It
-// takes an optional value: a bare -json picks the default path (BENCH_3.json
-// in suite mode, stdout in experiment mode); -json=FILE writes FILE; "-"
-// writes to stdout and suppresses the text output.
+// takes an optional value: a bare -json picks the default path (BENCH_4.json
+// in suite mode, stdout in experiment mode); -json=FILE and -json FILE both
+// write FILE; "-" writes to stdout and suppresses the text output.
 package main
 
 import (
@@ -47,12 +48,17 @@ import (
 // suiteJSONDefault is where -suite writes its report when -json gives no
 // explicit path. The number tracks the PR that last regenerated the
 // trajectory snapshot at the repo root.
-const suiteJSONDefault = "BENCH_3.json"
+const suiteJSONDefault = "BENCH_4.json"
 
 // compareTolerance is the relative assignment-rate drop -compare accepts
 // before failing (docs/BENCHMARKS.md: perf-sensitive PRs regenerate the
 // snapshot; CI fails on >10% drops).
 const compareTolerance = 0.10
+
+// compareP95Tolerance is the relative live epoch-p95 growth -compare
+// accepts before failing. Wider than the rate tolerance because p95 carries
+// host jitter; it exists to catch epoch-latency blowups, not noise.
+const compareP95Tolerance = 0.50
 
 func main() {
 	var jsonPath optionalPath
@@ -69,24 +75,52 @@ func main() {
 		scales    = flag.String("scales", "1,5", "suite mode: comma-separated density multipliers")
 		methods   = flag.String("methods", "Greedy,DTA", "suite mode: comma-separated assignment methods")
 		shards    = flag.Int("shards", 2, "suite mode: live-path dispatcher shard count")
+		halo      = flag.Float64("halo", 0, "suite mode: cross-shard handoff radius in km (0 = auto from worker reach, negative = disable)")
 		step      = flag.Float64("step", 2, "suite mode: planning epoch length in seconds")
-		compare   = flag.String("compare", "", "suite mode: baseline BENCH_*.json; fail on >10% assignment-rate drops")
+		compare   = flag.String("compare", "", "suite mode: baseline BENCH_*.json; fail on >10% assignment-rate drops or >50% epoch-p95 growth")
+		maxGap    = flag.Float64("max-gap", -1, "suite mode: fail if any cell's fidelity gap (offline − live assignment rate) exceeds this (e.g. 0.01 = 1pp; negative = off)")
 		validate  = flag.String("validate", "", "validate a BENCH_*.json suite report against the schema and exit")
 	)
-	flag.Var(&jsonPath, "json", "write machine-readable results (optional =FILE; bare flag picks the default path, \"-\" = stdout)")
-	flag.Parse()
-	// -json takes its value attached (-json=FILE). With the space form the
-	// file name would become a stray positional argument and silently stop
-	// flag parsing, so reject leftovers outright.
+	flag.Var(&jsonPath, "json", "write machine-readable results (optional FILE or =FILE; bare flag picks the default path, \"-\" = stdout)")
+	// -json takes its value attached (-json=FILE) or as the immediately
+	// following argument (-json FILE). The flag package would parse the
+	// bare-bool form and stop at the file name, silently ignoring it and
+	// everything after — so splice the adjacent pair out before parsing and
+	// apply the adopted path afterwards (not via rewriting to -json=FILE,
+	// which would collide with the bare-flag "true" sentinel for a file
+	// literally named "true"). Only the token directly after -json is
+	// adopted; a stray positional anywhere else still fails loudly below.
+	args := os.Args[1:]
+	adoptedJSON := ""
+	for i := 0; i < len(args)-1; i++ {
+		if args[i] == "-json" || args[i] == "--json" {
+			if next := args[i+1]; next == "-" || !strings.HasPrefix(next, "-") {
+				adoptedJSON = next
+				args = append(args[:i], args[i+2:]...)
+			}
+			break
+		}
+	}
+	// flag.CommandLine uses ExitOnError: a parse failure exits(2) itself.
+	_ = flag.CommandLine.Parse(args)
+	if adoptedJSON != "" {
+		jsonPath.set = true
+		jsonPath.value = adoptedJSON
+	}
+	// A leftover positional would be a silently ignored flag: reject loudly.
 	if flag.NArg() > 0 {
-		fatalf("unexpected argument %q (use -json=FILE, not -json FILE)", flag.Arg(0))
+		fatalf("unexpected argument %q (flags take values as -flag=VALUE, or -json FILE)", flag.Arg(0))
 	}
 
 	switch {
 	case *validate != "":
 		runValidate(*validate)
 	case *suite:
-		runSuite(*scenarios, *scales, *methods, *shards, *step, *parallel, jsonPath.resolve(suiteJSONDefault), *compare)
+		runSuite(suiteOptions{
+			scenarios: *scenarios, scales: *scales, methods: *methods,
+			shards: *shards, halo: *halo, step: *step, parallel: *parallel,
+			jsonPath: jsonPath.resolve(suiteJSONDefault), compare: *compare, maxGap: *maxGap,
+		})
 	default:
 		runExperiments(*list, *run, *scale, *csvDir, *points, *parallel, jsonPath.resolve("-"))
 	}
@@ -101,24 +135,36 @@ func runValidate(path string) {
 	fmt.Printf("%s: schema %s, %d cells — valid\n", path, r.Schema, len(r.Results))
 }
 
+// suiteOptions carries the suite-mode flag values.
+type suiteOptions struct {
+	scenarios, scales, methods string
+	shards                     int
+	halo                       float64
+	step                       float64
+	parallel                   int
+	jsonPath, compare          string
+	maxGap                     float64
+}
+
 // runSuite executes the atlas suite, writes the report, and optionally gates
-// against a baseline snapshot.
-func runSuite(scenarios, scales, methods string, shards int, step float64, parallel int, jsonPath, comparePath string) {
+// against a baseline snapshot and against the per-cell fidelity-gap bound.
+func runSuite(so suiteOptions) {
 	opts := benchsuite.Options{
-		Scenarios:   splitList(scenarios),
-		Methods:     splitList(methods),
-		Shards:      shards,
-		Step:        step,
-		Parallelism: parallel,
+		Scenarios:   splitList(so.scenarios),
+		Methods:     splitList(so.methods),
+		Shards:      so.shards,
+		HaloRadius:  so.halo,
+		Step:        so.step,
+		Parallelism: so.parallel,
 	}
-	for _, s := range splitList(scales) {
+	for _, s := range splitList(so.scales) {
 		f, err := strconv.ParseFloat(s, 64)
 		if err != nil {
 			fatalf("bad -scales entry %q: %v", s, err)
 		}
 		opts.Scales = append(opts.Scales, f)
 	}
-	quiet := jsonPath == "-"
+	quiet := so.jsonPath == "-"
 	if !quiet {
 		opts.Log = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
 	}
@@ -131,28 +177,40 @@ func runSuite(scenarios, scales, methods string, shards int, step float64, paral
 	if !quiet {
 		fmt.Printf("(suite: %d cells in %v)\n", len(report.Results), time.Since(start).Round(time.Millisecond))
 	}
-	if err := writeJSON(jsonPath, report); err != nil {
+	if err := writeJSON(so.jsonPath, report); err != nil {
 		fatalf("json: %v", err)
 	}
-	if !quiet && jsonPath != "" {
-		fmt.Printf("wrote %s\n", jsonPath)
+	if !quiet && so.jsonPath != "" {
+		fmt.Printf("wrote %s\n", so.jsonPath)
 	}
-	if comparePath != "" {
-		base, err := loadReport(comparePath)
+	// In quiet mode stdout carries the JSON document; keep it clean.
+	out := os.Stdout
+	if quiet {
+		out = os.Stderr
+	}
+	if so.maxGap >= 0 {
+		var over []string
+		for _, c := range report.Results {
+			if c.FidelityGap > so.maxGap {
+				over = append(over, fmt.Sprintf("%s %gx %s: gap %.1fpp", c.Scenario, c.Scale, c.Method, 100*c.FidelityGap))
+			}
+		}
+		if len(over) > 0 {
+			fatalf("fidelity gap above %.1fpp on %d cell(s): %s", 100*so.maxGap, len(over), strings.Join(over, "; "))
+		}
+		fmt.Fprintf(out, "fidelity: all %d cells within %.1fpp of the offline reference\n", len(report.Results), 100*so.maxGap)
+	}
+	if so.compare != "" {
+		base, err := loadReport(so.compare)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		n, err := benchsuite.Compare(base, report, compareTolerance)
+		n, err := benchsuite.Compare(base, report, compareTolerance, compareP95Tolerance)
 		if err != nil {
-			fatalf("compare against %s: %v", comparePath, err)
+			fatalf("compare against %s: %v", so.compare, err)
 		}
-		// In quiet mode stdout carries the JSON document; keep it clean.
-		out := os.Stdout
-		if quiet {
-			out = os.Stderr
-		}
-		fmt.Fprintf(out, "compare against %s: %d cells within %.0f%% assignment-rate tolerance\n",
-			comparePath, n, 100*compareTolerance)
+		fmt.Fprintf(out, "compare against %s: %d cells within %.0f%% assignment-rate and %.0f%% epoch-p95 tolerance\n",
+			so.compare, n, 100*compareTolerance, 100*compareP95Tolerance)
 	}
 }
 
@@ -231,9 +289,10 @@ func runExperiments(list bool, run, scale, csvDir string, points, parallel int, 
 	}
 }
 
-// optionalPath is a flag that may appear bare (-json), with a value
-// (-json=FILE), or not at all; resolve substitutes the mode's default path
-// for the bare form.
+// optionalPath is a flag that may appear bare (-json), with an attached
+// value (-json=FILE), with a following value (-json FILE — adopted from the
+// positionals after parsing), or not at all; resolve substitutes the mode's
+// default path for the bare form.
 type optionalPath struct {
 	set   bool
 	value string
@@ -249,8 +308,8 @@ func (p *optionalPath) Set(s string) error {
 	return nil
 }
 
-// IsBoolFlag lets the flag package accept the bare form. The value, when
-// given, must be attached with '=': -json=FILE.
+// IsBoolFlag lets the flag package accept the bare form; main adopts a
+// following positional as the value, so -json FILE also works.
 func (p *optionalPath) IsBoolFlag() bool { return true }
 
 func (p *optionalPath) resolve(def string) string {

@@ -403,6 +403,13 @@ type DispatchConfig struct {
 	// dispatcher plans at Now, Now+Step, …, so a T0 offset from Now shifts
 	// every planning instant and the outcomes diverge.
 	Now float64
+	// HaloRadius configures cross-shard task handoff in kilometers: tasks
+	// whose disk of this radius crosses a shard boundary are replicated into
+	// the neighboring shards as ghost candidates, with deterministic commit
+	// arbitration. 0 (default) auto-derives the radius from the largest
+	// admitted worker reach; negative disables replication. See
+	// dispatch.Config.HaloRadius.
+	HaloRadius float64
 	// QueueSize bounds the ingest queue (default 4096).
 	QueueSize int
 	// LatencyWindow sizes the epoch-latency percentile window (default 1024).
@@ -421,6 +428,7 @@ func (f *Framework) NewDispatcher(m Method, dc DispatchConfig) (*Dispatcher, err
 	}
 	cfg := dispatch.Config{
 		Shards:        dc.Shards,
+		HaloRadius:    dc.HaloRadius,
 		Step:          dc.Step,
 		Now:           dc.Now,
 		QueueSize:     dc.QueueSize,

@@ -10,8 +10,10 @@
 // Assignment outcomes (assigned/expired counts, and therefore
 // assignment_rate) are deterministic given the archetype seed, at every
 // parallelism level and on every machine; wall-clock and allocation figures
-// are informational and host-dependent. Compare therefore gates only on
-// assignment rate. docs/BENCHMARKS.md documents the schema and the
+// are informational and host-dependent. Compare gates on assignment rate
+// (hard, deterministic) and — with a separate, looser threshold — on the
+// live path's epoch p95 latency, so a perf PR cannot silently trade epoch
+// latency for throughput. docs/BENCHMARKS.md documents the schema and the
 // regeneration policy.
 package benchsuite
 
@@ -28,7 +30,24 @@ import (
 
 // Schema identifies the Report wire format. Bump the suffix on any
 // incompatible change and teach Validate both versions for one release.
-const Schema = "datawa-bench-suite/1"
+// Version 2 added the per-cell fidelity_gap field and the top-level
+// halo_radius_km echo.
+const Schema = "datawa-bench-suite/2"
+
+// legacySchema is the previous wire format, still accepted by Validate for
+// one release so committed snapshots keep working as -compare baselines.
+const legacySchema = "datawa-bench-suite/1"
+
+// p95GateFloorNS clamps the baseline of Compare's latency gate from below:
+// growth is measured relative to max(baseline, 10 ms). Epoch latencies are
+// wall-clock — run-to-run variance reaches 2x on µs-scale cells and the
+// committed snapshot may come from a faster host than the CI runner — so a
+// purely relative threshold on small baselines would gate on scheduler and
+// hardware noise. The floor widens the allowance instead of exempting the
+// cell: a lightweight cell blowing up past ~15 ms still fails, while the
+// gate's real target — order-of-magnitude regressions on the heavyweight
+// cells (hundreds of ms to seconds) — is gated at the full 50% tolerance.
+const p95GateFloorNS = int64(10 * time.Millisecond)
 
 // Options parameterizes one suite run. The zero value runs every registered
 // archetype with the training-free methods at 1x and 5x density.
@@ -45,6 +64,10 @@ type Options struct {
 	Step float64
 	// Shards is the live path's dispatcher shard count (default 2).
 	Shards int
+	// HaloRadius is the live path's cross-shard handoff radius in km
+	// (0 = auto from worker reach, negative = disable ghost replication);
+	// see dispatch.Config.HaloRadius.
+	HaloRadius float64
 	// Parallelism bounds planner fan-out (0 = one goroutine per CPU).
 	Parallelism int
 	// MaxNodes caps exact-search effort per planning call (default 4000).
@@ -87,12 +110,13 @@ type Report struct {
 	GoVersion string `json:"go_version"`
 	OS        string `json:"os"`
 	Arch      string `json:"arch"`
-	// Scales, Methods, Step, Shards and Parallelism echo the options that
-	// produced the report.
+	// Scales, Methods, Step, Shards, HaloRadius and Parallelism echo the
+	// options that produced the report.
 	Scales      []float64 `json:"scales"`
 	Methods     []string  `json:"methods"`
 	Step        float64   `json:"step_seconds"`
 	Shards      int       `json:"shards"`
+	HaloRadius  float64   `json:"halo_radius_km"`
 	Parallelism int       `json:"parallelism"`
 	// Results holds one cell per scenario × scale × method, in scenario
 	// name order.
@@ -116,6 +140,12 @@ type Cell struct {
 	// the same trace through the sharded dispatch service.
 	Offline Path `json:"offline"`
 	Live    Path `json:"live"`
+	// FidelityGap is offline minus live assignment rate: how far the sharded
+	// live path trails the engine-equivalent reference on this cell.
+	// Negative means the live path assigned more. With cross-shard halo
+	// handoff the gap stays within one percentage point; a larger value
+	// means boundary visibility or arbitration regressed.
+	FidelityGap float64 `json:"fidelity_gap"`
 }
 
 // Path is one execution path's measurement.
@@ -157,6 +187,7 @@ func Run(opts Options) (*Report, error) {
 		Methods:     opts.Methods,
 		Step:        opts.Step,
 		Shards:      opts.Shards,
+		HaloRadius:  opts.HaloRadius,
 		Parallelism: opts.Parallelism,
 	}
 	for _, name := range opts.Scenarios {
@@ -172,10 +203,11 @@ func Run(opts Options) (*Report, error) {
 					return nil, fmt.Errorf("benchsuite: %s %gx %s: %w", name, f, method, err)
 				}
 				r.Results = append(r.Results, cell)
-				opts.Log("%-13s %4gx %-8s offline %5.1f%% %8.0f ev/s | live %5.1f%% %8.0f ev/s p95 %s",
+				opts.Log("%-13s %4gx %-8s offline %5.1f%% %8.0f ev/s | live %5.1f%% %8.0f ev/s gap %+5.1fpp p95 %s",
 					name, f, method,
 					100*cell.Offline.AssignmentRate, cell.Offline.EventsPerSec,
 					100*cell.Live.AssignmentRate, cell.Live.EventsPerSec,
+					100*cell.FidelityGap,
 					time.Duration(cell.Live.EpochP95NS).Round(time.Microsecond))
 			}
 		}
@@ -251,7 +283,9 @@ func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.M
 	if err != nil {
 		return Cell{}, err
 	}
-	d, err := fw.NewDispatcher(m, datawa.DispatchConfig{Shards: opts.Shards, Step: opts.Step, Now: sc.T0})
+	d, err := fw.NewDispatcher(m, datawa.DispatchConfig{
+		Shards: opts.Shards, HaloRadius: opts.HaloRadius, Step: opts.Step, Now: sc.T0,
+	})
 	if err != nil {
 		return Cell{}, err
 	}
@@ -280,6 +314,7 @@ func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.M
 		EpochP95NS:     met.EpochP95.Nanoseconds(),
 		EpochP99NS:     met.EpochP99.Nanoseconds(),
 	}
+	cell.FidelityGap = cell.Offline.AssignmentRate - cell.Live.AssignmentRate
 	return cell, nil
 }
 
@@ -304,8 +339,8 @@ func (r *Report) Validate() error {
 	if r == nil {
 		return fmt.Errorf("nil report")
 	}
-	if r.Schema != Schema {
-		return fmt.Errorf("schema %q, want %q", r.Schema, Schema)
+	if r.Schema != Schema && r.Schema != legacySchema {
+		return fmt.Errorf("schema %q, want %q (or legacy %q)", r.Schema, Schema, legacySchema)
 	}
 	if len(r.Results) == 0 {
 		return fmt.Errorf("report has no results")
@@ -320,6 +355,13 @@ func (r *Report) Validate() error {
 		}
 		if c.Workers <= 0 || c.Tasks <= 0 {
 			return fmt.Errorf("%s: empty population", where)
+		}
+		// fidelity_gap arrived with schema version 2; legacy reports carry
+		// the zero value, which would fail the consistency check.
+		if r.Schema != legacySchema {
+			if gap := c.Offline.AssignmentRate - c.Live.AssignmentRate; math.Abs(gap-c.FidelityGap) > 1e-9 {
+				return fmt.Errorf("%s: fidelity_gap %v inconsistent with offline−live rates (%v)", where, c.FidelityGap, gap)
+			}
 		}
 		for _, p := range []struct {
 			name string
@@ -351,9 +393,20 @@ func (r *Report) Validate() error {
 // Compare gates a new report against a baseline snapshot: for every cell
 // present in both (matched by scenario, scale, method), the offline and live
 // assignment rates may not drop by more than maxRelDrop (e.g. 0.10 = 10%)
-// relative to the baseline. Wall-clock and allocation figures are
-// host-dependent and never gate. It returns the number of cells compared.
-func Compare(base, cur *Report, maxRelDrop float64) (int, error) {
+// relative to the baseline, and the live path's epoch p95 latency may not
+// grow by more than maxRelP95 (e.g. 0.50 = 50%; ≤ 0 disables the latency
+// gate). The latency threshold is deliberately separate and looser than the
+// rate threshold: assignment rates are deterministic, so any drop is a real
+// behavior change, while p95 carries host jitter — the gate exists to catch
+// order-of-magnitude epoch blowups that a rate-only gate would wave
+// through, not single-digit noise. For cells whose baseline p95 is under
+// ten milliseconds, growth is measured against a 10 ms floor instead of the
+// raw baseline: run-to-run variance reaches 2x there and the baseline
+// snapshot may come from a faster host, so a purely relative bound would
+// gate on noise — but a lightweight cell regressing to hundreds of
+// milliseconds still fails. Wall-clock throughput and allocation figures
+// never gate. It returns the number of cells compared.
+func Compare(base, cur *Report, maxRelDrop, maxRelP95 float64) (int, error) {
 	if err := base.Validate(); err != nil {
 		return 0, fmt.Errorf("baseline: %w", err)
 	}
@@ -382,6 +435,20 @@ func Compare(base, cur *Report, maxRelDrop float64) (int, error) {
 		}
 		check("offline", b.Offline.AssignmentRate, c.Offline.AssignmentRate)
 		check("live", b.Live.AssignmentRate, c.Live.AssignmentRate)
+		baseP95 := b.Live.EpochP95NS
+		if baseP95 < p95GateFloorNS {
+			baseP95 = p95GateFloorNS
+		}
+		// No b.EpochP95NS > 0 guard: the floor already turns a degenerate
+		// zero baseline into a 1 ms allowance instead of disabling the gate.
+		if maxRelP95 > 0 &&
+			float64(c.Live.EpochP95NS) > float64(baseP95)*(1+maxRelP95) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s %gx %s live: epoch p95 %v → %v (>%.0f%% growth over max(baseline, %v))",
+				c.Scenario, c.Scale, c.Method,
+				time.Duration(b.Live.EpochP95NS), time.Duration(c.Live.EpochP95NS),
+				100*maxRelP95, time.Duration(p95GateFloorNS)))
+		}
 	}
 	if compared == 0 {
 		return 0, fmt.Errorf("no overlapping cells between the reports — scenario or method sets diverged")
@@ -391,7 +458,7 @@ func Compare(base, cur *Report, maxRelDrop float64) (int, error) {
 		for _, line := range regressions {
 			msg += "\n  " + line
 		}
-		return compared, fmt.Errorf("%d assignment-rate regression(s):%s", len(regressions), msg)
+		return compared, fmt.Errorf("%d regression(s):%s", len(regressions), msg)
 	}
 	return compared, nil
 }

@@ -53,9 +53,16 @@ func TestSuiteAssignmentRatesDeterministic(t *testing.T) {
 				a.Scenario, a.Offline.Assigned, a.Live.Assigned, b.Offline.Assigned, b.Live.Assigned)
 		}
 	}
-	if n, err := Compare(first, second, 0.10); err != nil || n != 2 {
+	if n, err := Compare(first, second, 0.10, 0.50); err != nil || n != 2 {
 		t.Fatalf("self-compare: %d cells, err %v", n, err)
 	}
+}
+
+// setOfflineRate rescales one cell's offline assignment rate, keeping the
+// derived fidelity_gap consistent so only the rate gate is exercised.
+func setOfflineRate(c *Cell, rate float64) {
+	c.Offline.AssignmentRate = rate
+	c.FidelityGap = c.Offline.AssignmentRate - c.Live.AssignmentRate
 }
 
 func TestCompareDetectsRegression(t *testing.T) {
@@ -65,16 +72,68 @@ func TestCompareDetectsRegression(t *testing.T) {
 	}
 	cur := *base
 	cur.Results = append([]Cell(nil), base.Results...)
-	cur.Results[0].Offline.AssignmentRate = base.Results[0].Offline.AssignmentRate * 0.5
-	if _, err := Compare(base, &cur, 0.10); err == nil {
+	setOfflineRate(&cur.Results[0], base.Results[0].Offline.AssignmentRate*0.5)
+	if _, err := Compare(base, &cur, 0.10, 0.50); err == nil {
 		t.Fatal("halved assignment rate must fail the gate")
 	} else if !strings.Contains(err.Error(), "regression") {
 		t.Fatalf("unexpected error: %v", err)
 	}
 	// A drop inside the tolerance passes.
-	cur.Results[0].Offline.AssignmentRate = base.Results[0].Offline.AssignmentRate * 0.95
-	if _, err := Compare(base, &cur, 0.10); err != nil {
+	setOfflineRate(&cur.Results[0], base.Results[0].Offline.AssignmentRate*0.95)
+	if _, err := Compare(base, &cur, 0.10, 0.50); err != nil {
 		t.Fatalf("5%% drop within 10%% tolerance must pass: %v", err)
+	}
+}
+
+// TestCompareDetectsEpochP95Blowup pins the latency gate: an epoch-p95
+// regression beyond the separate tolerance fails even though every
+// assignment rate is unchanged — but only for cells whose baseline p95 is
+// above the one-millisecond noise floor.
+func TestCompareDetectsEpochP95Blowup(t *testing.T) {
+	run, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lift the baseline cell above the noise floor so the gate applies.
+	base := *run
+	base.Results = append([]Cell(nil), run.Results...)
+	base.Results[0].Live.EpochP95NS = 20_000_000
+	base.Results[0].Live.EpochP99NS = 20_000_001
+	cur := base
+	cur.Results = append([]Cell(nil), base.Results...)
+	cur.Results[0].Live.EpochP95NS = base.Results[0].Live.EpochP95NS * 3
+	cur.Results[0].Live.EpochP99NS = cur.Results[0].Live.EpochP95NS + 1
+	if _, err := Compare(&base, &cur, 0.10, 0.50); err == nil {
+		t.Fatal("3x epoch p95 must fail the 50% growth gate")
+	} else if !strings.Contains(err.Error(), "epoch p95") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The same report passes with the latency gate disabled.
+	if _, err := Compare(&base, &cur, 0.10, 0); err != nil {
+		t.Fatalf("disabled latency gate must pass: %v", err)
+	}
+	// Growth within tolerance passes.
+	cur.Results[0].Live.EpochP95NS = base.Results[0].Live.EpochP95NS * 14 / 10
+	cur.Results[0].Live.EpochP99NS = cur.Results[0].Live.EpochP95NS + 1
+	if _, err := Compare(&base, &cur, 0.10, 0.50); err != nil {
+		t.Fatalf("40%% p95 growth within 50%% tolerance must pass: %v", err)
+	}
+	// A lightweight baseline gates against the 10 ms floor, not the raw
+	// value: multi-x growth inside the floor's allowance is host noise and
+	// passes, but a blowup past the floor still fails.
+	tiny := base
+	tiny.Results = append([]Cell(nil), base.Results...)
+	tiny.Results[0].Live.EpochP95NS = 400_000
+	tiny.Results[0].Live.EpochP99NS = 400_001
+	cur.Results[0].Live.EpochP95NS = 4_000_000 // 10x, within max(baseline,10ms)*1.5
+	cur.Results[0].Live.EpochP99NS = 4_000_001
+	if _, err := Compare(&tiny, &cur, 0.10, 0.50); err != nil {
+		t.Fatalf("sub-floor noise must not gate on p95: %v", err)
+	}
+	cur.Results[0].Live.EpochP95NS = 500_000_000 // 0.4ms → 500ms blowup
+	cur.Results[0].Live.EpochP99NS = 500_000_001
+	if _, err := Compare(&tiny, &cur, 0.10, 0.50); err == nil {
+		t.Fatal("sub-floor baseline blowing up past the floor must fail the gate")
 	}
 }
 
@@ -88,7 +147,7 @@ func TestCompareRejectsDisjointReports(t *testing.T) {
 	for i := range cur.Results {
 		cur.Results[i].Scenario = "renamed-" + cur.Results[i].Scenario
 	}
-	if _, err := Compare(base, &cur, 0.10); err == nil {
+	if _, err := Compare(base, &cur, 0.10, 0.50); err == nil {
 		t.Fatal("disjoint cell sets must not silently pass")
 	}
 }
@@ -105,6 +164,7 @@ func TestValidateRejectsMalformedReports(t *testing.T) {
 		{"wrong schema", func(r *Report) { r.Schema = "datawa-bench-suite/0" }},
 		{"no results", func(r *Report) { r.Results = nil }},
 		{"rate out of range", func(r *Report) { r.Results[0].Offline.AssignmentRate = 1.5 }},
+		{"fidelity gap inconsistent", func(r *Report) { r.Results[0].FidelityGap += 0.5 }},
 		{"conservation", func(r *Report) { r.Results[0].Live.Assigned = r.Results[0].Tasks + 1 }},
 		{"percentile order", func(r *Report) { r.Results[0].Live.EpochP50NS = r.Results[0].Live.EpochP99NS + 1 }},
 		{"missing scenario", func(r *Report) { r.Results[0].Scenario = "" }},
@@ -118,6 +178,25 @@ func TestValidateRejectsMalformedReports(t *testing.T) {
 				t.Fatal("malformed report passed validation")
 			}
 		})
+	}
+}
+
+// TestValidateAcceptsLegacySchema keeps committed v1 snapshots usable as
+// -compare baselines: the legacy tag passes validation, and its zero-valued
+// fidelity_gap fields are not held to the v2 consistency check.
+func TestValidateAcceptsLegacySchema(t *testing.T) {
+	r, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := *r
+	legacy.Schema = legacySchema
+	legacy.Results = append([]Cell(nil), r.Results...)
+	for i := range legacy.Results {
+		legacy.Results[i].FidelityGap = 0 // v1 reports never carried the field
+	}
+	if err := legacy.Validate(); err != nil {
+		t.Fatalf("legacy schema must validate: %v", err)
 	}
 }
 

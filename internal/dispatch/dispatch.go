@@ -7,28 +7,41 @@
 // via internal/par.
 //
 // Determinism contract: event routing is a pure function of the event (the
-// grid cell of the worker's online location or the task's location, taken
-// modulo the shard count; a worker keeps its shard for its whole session),
-// shard machines are deterministic, and per-epoch shard results land in
-// per-shard slots merged in shard order. A dispatcher fed one event stream
-// from a single producer therefore produces identical assignment state on
-// every run at every parallelism level — and with one shard it reproduces
-// stream.Engine's Assigned/Expired counts on the same trace, which the
-// package tests pin down.
+// shard owning the grid cell of the worker's online location or the task's
+// location, per the explicit cell→shard ownership map; a worker keeps its
+// shard for its whole session), shard machines are deterministic, per-epoch
+// shard results land in per-shard slots merged in shard order, and commit
+// arbitration works on that merged, ordered commit set. A dispatcher fed one
+// event stream from a single producer therefore produces identical
+// assignment state on every run at every parallelism level — and with one
+// shard it reproduces stream.Engine's Assigned/Expired counts on the same
+// trace, which the package tests pin down.
 //
 // Ingestion (WorkerOnline, SubmitTask, …) is safe from any number of
 // goroutines and never touches planner state: producers only append to the
 // queue. All planning happens inside Advance/Tick under the dispatcher's
 // epoch lock, which Snapshot and PlanOf also take.
 //
-// Known fidelity tradeoff (multi-shard): a worker only ever sees tasks of
-// its own shard, and cells are interleaved across shards (cell % Shards),
-// so a worker whose reach disc spans neighboring cells is blind to the
-// fraction of them owned by other shards — multi-shard assignment counts
-// run below the single-shard reference, deterministically so.
-// docs/BENCHMARKS.md documents the tradeoff and how the suite records it;
-// the scenario atlas's multi-city archetype stresses exactly this routing
-// (two hotspot clusters whose demand must stay balanced across shards).
+// Cross-shard handoff (multi-shard): shard ownership is an explicit
+// cell→shard map over the demand grid — contiguous row-major bands, so each
+// shard's territory has a small boundary surface. A task whose halo disk
+// (Config.HaloRadius; by default the largest admitted worker reach) overlaps
+// cells owned by other shards is replicated into those shards as a read-only
+// ghost candidate, so a worker positioned in or near its own shard's band —
+// the steady state, since workers online there and serve nearby tasks — sees
+// every task inside its reachability disk regardless of which shard owns it.
+// (A worker that task-chains far beyond its band plus the halo radius can
+// still miss tasks near its drifted position; the benchmark suite's
+// per-cell fidelity_gap bounds the aggregate effect.) Two shards committing
+// the same task in one epoch are resolved by a deterministic arbitration
+// step after the parallel Step: the earliest-arrival commit wins (worker id,
+// then shard id break ties), losers are retracted — the worker resumes the
+// rest of its plan in the same instant and re-plans fully next epoch — and
+// every surviving copy of a committed task is dropped before the next
+// planning instant. Snapshot reports the replication volume (GhostCopies,
+// RoutedGhosts), cross-shard wins (GhostHits), and arbitration activity
+// (CommitConflicts, Retractions); docs/BENCHMARKS.md records the residual
+// fidelity gap per workload in the BENCH_*.json trajectory.
 //
 // Measurement: Snapshot exposes counters and epoch-latency percentiles;
 // LoadGen replays a workload.Scenario trace against a dispatcher for
@@ -87,9 +100,20 @@ type Config struct {
 	// Shards is the number of region shards (default 1). Each shard owns a
 	// deterministic subset of the grid's cells and runs its own planner.
 	Shards int
-	// Grid partitions the region into cells; cell % Shards is the owning
-	// shard. Required when Shards > 1.
+	// Grid partitions the region into cells; an explicit ownership map
+	// assigns each shard one contiguous row-major band of cells. Required
+	// when Shards > 1.
 	Grid geo.Grid
+	// HaloRadius configures cross-shard task handoff, in kilometers: a task
+	// whose disk of this radius overlaps grid cells owned by other shards is
+	// replicated into those shards as a read-only ghost candidate, and
+	// duplicate commits are arbitrated deterministically each epoch. 0 (the
+	// default) derives the radius automatically from the largest Reach of
+	// any admitted worker, which makes every task visible to every worker
+	// whose reachability disk could cover it; a negative value disables
+	// replication entirely (boundary workers stay blind to neighbor-shard
+	// tasks, the pre-halo behavior). Ignored with one shard.
+	HaloRadius float64
 	// Step is the epoch length in logical seconds (default 1).
 	Step float64
 	// Now is the initial logical clock (the first epoch instant).
@@ -172,6 +196,18 @@ type Metrics struct {
 	// currently active and tasks currently open, as the router sees them.
 	RoutedWorkers int `json:"routed_workers"`
 	RoutedTasks   int `json:"routed_tasks"`
+	// RoutedGhosts is the number of live tasks currently replicated into at
+	// least one non-owner shard; GhostCopies counts every replica created
+	// over the service's lifetime.
+	RoutedGhosts int   `json:"routed_ghosts"`
+	GhostCopies  int64 `json:"ghost_copies"`
+	// GhostHits counts tasks won by a non-owner shard through a replica —
+	// assignments the boundary-blind router would have missed.
+	GhostHits int64 `json:"ghost_hits"`
+	// CommitConflicts counts tasks committed by more than one shard in the
+	// same epoch; Retractions counts the losing commits arbitration undid.
+	CommitConflicts int64 `json:"commit_conflicts"`
+	Retractions     int64 `json:"retractions"`
 	// Assigned/Expired/Cancelled/Repositions aggregate all shards.
 	Assigned    int `json:"assigned"`
 	Expired     int `json:"expired"`
@@ -205,11 +241,25 @@ type Dispatcher struct {
 	pending eventHeap // drained from the queue, not yet due
 	seq     int64     // ingest-order tiebreak for pending
 	shards  []*stream.Machine
-	owner   map[int]int // worker id → shard
-	taskOf  map[int]int // task id → shard
-	clock   float64     // next epoch instant
-	epochs  int
-	lat     *latencyRing
+	smap    *shardMap     // cell ownership; nil with one shard
+	owner   map[int]int   // worker id → shard
+	taskOf  map[int]int   // task id → owning shard
+	ghosts  map[int][]int // task id → shards holding a live replica
+	// maxReach is the largest Reach among admitted workers — the automatic
+	// halo radius when Config.HaloRadius is 0. reGhost marks a pending
+	// re-replication pass after maxReach grew; it runs once per tick, since
+	// visibility only matters at planning instants and a burst of admissions
+	// would otherwise rescan the open pool once per worker.
+	maxReach float64
+	reGhost  bool
+	// Halo/arbitration counters (see Metrics).
+	ghostCopies int64
+	ghostHits   int64
+	conflicts   int64
+	retractions int64
+	clock       float64 // next epoch instant
+	epochs      int
+	lat         *latencyRing
 	// Global forecast state (Config.Forecast only).
 	published    []*core.Task
 	lastForecast float64
@@ -232,8 +282,12 @@ func New(cfg Config) *Dispatcher {
 		shards: make([]*stream.Machine, cfg.Shards),
 		owner:  make(map[int]int),
 		taskOf: make(map[int]int),
+		ghosts: make(map[int][]int),
 		clock:  cfg.Now,
 		lat:    newLatencyRing(cfg.LatencyWindow),
+	}
+	if cfg.Shards > 1 {
+		d.smap = newShardMap(cfg.Grid, cfg.Shards)
 	}
 	// Split the parallelism budget between the shard fan-out and each
 	// planner's internal fan-out: with multiple shards planning
@@ -264,6 +318,9 @@ func New(cfg Config) *Dispatcher {
 			Fixed:         cfg.Fixed,
 			Travel:        cfg.Travel,
 			TrackRemovals: true,
+			// Commit logs feed cross-shard arbitration; with one shard or
+			// replication disabled nothing drains them, so leave them off.
+			TrackCommits: cfg.Shards > 1 && cfg.HaloRadius >= 0,
 		})
 	}
 	d.lastForecast = math.Inf(-1)
@@ -324,10 +381,68 @@ func (d *Dispatcher) Heartbeat(id int, loc geo.Point) {
 
 // shardOf routes a location to its owning shard.
 func (d *Dispatcher) shardOf(p geo.Point) int {
-	if d.cfg.Shards == 1 {
+	if d.smap == nil {
 		return 0
 	}
-	return d.cfg.Grid.CellOf(p) % d.cfg.Shards
+	return d.smap.ownerOf(p)
+}
+
+// haloEnabled reports whether cross-shard ghost replication is active.
+func (d *Dispatcher) haloEnabled() bool {
+	return d.smap != nil && d.cfg.HaloRadius >= 0
+}
+
+// haloRadiusLocked resolves the current halo radius: the configured fixed
+// radius, or — in auto mode — the largest admitted worker reach so far.
+func (d *Dispatcher) haloRadiusLocked() float64 {
+	if d.cfg.HaloRadius > 0 {
+		return d.cfg.HaloRadius
+	}
+	return d.maxReach
+}
+
+// replicateLocked installs ghost replicas of an owned open task into every
+// shard whose territory its halo disk overlaps. Already-replicated shards
+// are skipped (AddGhost rejects duplicates), so the call is idempotent —
+// re-running it after the auto halo radius grows adds only the missing
+// replicas. The disk is centered on the task's location clamped to the
+// region: ownership routing clamps off-map points (Grid.CellOf snaps stray
+// GPS fixes to boundary cells), so the halo query must reason from the same
+// snapped geometry — an exact off-region disk could overlap no cell at all
+// and leave a boundary worker blind to a reachable off-map task.
+func (d *Dispatcher) replicateLocked(s *core.Task, owner int, t float64) {
+	r := d.haloRadiusLocked()
+	if r <= 0 {
+		return
+	}
+	p := d.cfg.Grid.Region.Clamp(s.Loc)
+	for _, g := range d.smap.shardsInDisk(p, r, owner) {
+		if d.shards[g].AddGhost(s, t) {
+			d.ghosts[s.ID] = append(d.ghosts[s.ID], g)
+			d.ghostCopies++
+		}
+	}
+}
+
+// reGhostLocked re-evaluates replication for every open owned task — run
+// once per tick, after the epoch's events applied, when the automatic halo
+// radius grew: tasks submitted before a long-reach worker came online
+// become visible to its shard at the same planning instant that admits the
+// worker. Task ids are walked in sorted order: replication appends to each
+// shard's planning pool, so the order must be a pure function of the event
+// stream.
+func (d *Dispatcher) reGhostLocked(t float64) {
+	ids := make([]int, 0, len(d.taskOf))
+	for id := range d.taskOf {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		owner := d.taskOf[id]
+		if s, ok := d.shards[owner].OpenTask(id); ok {
+			d.replicateLocked(s, owner, t)
+		}
+	}
 }
 
 // Tick runs exactly one planning epoch at the current clock instant and
@@ -379,12 +494,17 @@ func (d *Dispatcher) tickLocked() {
 	t := d.clock
 	d.drainLocked()
 	d.applyDueLocked(t)
+	if d.reGhost {
+		d.reGhost = false
+		d.reGhostLocked(t)
+	}
 	d.forecastLocked(t)
 
 	start := time.Now()
 	par.Do(len(d.shards), d.cfg.Parallelism, func(i int) {
 		d.shards[i].Step(t)
 	})
+	d.arbitrateLocked(t)
 	d.lat.add(time.Since(start))
 
 	// Retire routing entries for departed workers and closed tasks so the
@@ -400,6 +520,9 @@ func (d *Dispatcher) tickLocked() {
 		for _, id := range m.TakeClosedTasks() {
 			if d.taskOf[id] == shard && !m.HasOpenTask(id) {
 				delete(d.taskOf, id)
+				// An owner-side expiry closes the replicas too (same Exp,
+				// same eviction instant); only the routing entry remains.
+				delete(d.ghosts, id)
 			}
 		}
 	}
@@ -407,6 +530,108 @@ func (d *Dispatcher) tickLocked() {
 	d.epochs++
 	d.clock = t + d.cfg.Step
 	d.nowBits.Store(math.Float64bits(d.clock))
+}
+
+// arbitrateLocked resolves cross-shard commits after the parallel Step.
+// Replicated tasks can be committed by several shards in one epoch; exactly
+// one commit may stand. The winner is chosen by earliest arrival (worker id,
+// then shard id break ties — a pure function of the merged commit set, so
+// the outcome is identical at every parallelism level), losers are
+// retracted, and every surviving copy of a committed task is dropped from
+// the other shards so no one can commit it in a later epoch. A retracted
+// worker immediately resumes the remainder of its plan, which can produce
+// fresh commits — hence the rounds; each round consumes plan entries, so the
+// loop terminates.
+func (d *Dispatcher) arbitrateLocked(t float64) {
+	if !d.haloEnabled() {
+		return
+	}
+	type commit struct {
+		shard int
+		c     stream.Commit
+	}
+	for {
+		byTask := make(map[int][]commit)
+		for i, m := range d.shards {
+			for _, c := range m.TakeCommits() {
+				// Only replicated tasks can conflict or leave stale copies;
+				// a single-copy commit needs no arbitration.
+				if len(d.ghosts[c.Task]) > 0 {
+					byTask[c.Task] = append(byTask[c.Task], commit{shard: i, c: c})
+				}
+			}
+		}
+		if len(byTask) == 0 {
+			return
+		}
+		ids := make([]int, 0, len(byTask))
+		for id := range byTask {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		// Phase 1: pick each task's winner and purge every surviving copy of
+		// every arbitrated task. All drops happen before any retraction: a
+		// retracted worker resumes its plan immediately, and if a task later
+		// in this round still had an open replica the resume could commit it
+		// — a commit outside its own arbitration group, i.e. a double
+		// assignment.
+		var losers []commit
+		for _, id := range ids {
+			cms := byTask[id]
+			best := 0
+			for j := 1; j < len(cms); j++ {
+				a, b := cms[j], cms[best]
+				if a.c.Arrive != b.c.Arrive {
+					if a.c.Arrive < b.c.Arrive {
+						best = j
+					}
+					continue
+				}
+				if a.c.Worker != b.c.Worker {
+					if a.c.Worker < b.c.Worker {
+						best = j
+					}
+					continue
+				}
+				if a.shard < b.shard {
+					best = j
+				}
+			}
+			if len(cms) > 1 {
+				d.conflicts++
+			}
+			winner := cms[best].shard
+			owner, owned := d.taskOf[id]
+			if owned && winner != owner {
+				d.ghostHits++
+			}
+			for j, cm := range cms {
+				if j != best {
+					losers = append(losers, cm)
+				}
+			}
+			// Drop the copies that did not commit: the owner's (when a ghost
+			// won) and every other shard's replica.
+			if owned && winner != owner {
+				d.shards[owner].DropTask(id)
+			}
+			for _, g := range d.ghosts[id] {
+				if g != winner {
+					d.shards[g].DropTask(id)
+				}
+			}
+			delete(d.ghosts, id)
+			delete(d.taskOf, id)
+		}
+		// Phase 2: retract the losers. Resumed workers can only commit tasks
+		// not arbitrated yet — fresh replicated commits land in the machines'
+		// logs and the next round collects them.
+		for _, cm := range losers {
+			if d.shards[cm.shard].RetractCommit(cm.c.Worker, cm.c.Task, t) {
+				d.retractions++
+			}
+		}
+	}
 }
 
 // forecastLocked refreshes the global virtual-task sets at the forecaster's
@@ -477,6 +702,14 @@ func (d *Dispatcher) applyLocked(ev Event, t float64) {
 		shard := d.shardOf(ev.Worker.Loc)
 		if ok = d.shards[shard].AddWorker(ev.Worker, t); ok {
 			d.owner[ev.Worker.ID] = shard
+			// In auto-halo mode a longer reach widens the halo band: mark a
+			// re-replication pass (run once, before this tick's Step) so
+			// already-open boundary tasks become visible to the new
+			// worker's shard.
+			if d.haloEnabled() && d.cfg.HaloRadius == 0 && ev.Worker.Reach > d.maxReach {
+				d.maxReach = ev.Worker.Reach
+				d.reGhost = true
+			}
 		}
 	case KindTaskSubmit:
 		if ev.Task == nil {
@@ -495,6 +728,9 @@ func (d *Dispatcher) applyLocked(ev Event, t float64) {
 		shard := d.shardOf(ev.Task.Loc)
 		if d.shards[shard].AddTask(ev.Task, t) {
 			d.taskOf[ev.Task.ID] = shard
+			if d.haloEnabled() {
+				d.replicateLocked(ev.Task, shard, t)
+			}
 		}
 		// Expired-on-arrival still changed state (it counted as expired),
 		// so a rejected admission here is applied either way.
@@ -505,7 +741,14 @@ func (d *Dispatcher) applyLocked(ev Event, t float64) {
 		}
 	case KindTaskCancel:
 		if shard, known := d.taskOf[ev.ID]; known {
-			ok = d.shards[shard].CancelTask(ev.ID)
+			if ok = d.shards[shard].CancelTask(ev.ID); ok {
+				// A withdrawn task must leave every replica pool before the
+				// next planning instant, or a ghost shard could assign it.
+				for _, g := range d.ghosts[ev.ID] {
+					d.shards[g].DropTask(ev.ID)
+				}
+				delete(d.ghosts, ev.ID)
+			}
 		}
 	case KindPosition:
 		if shard, known := d.owner[ev.ID]; known {
@@ -536,14 +779,19 @@ func (d *Dispatcher) Snapshot() Metrics {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	m := Metrics{
-		Now:           d.clock,
-		Epochs:        d.epochs,
-		Ingested:      d.ingested.Load(),
-		Applied:       d.applied.Load(),
-		Unroutable:    d.unroutable.Load(),
-		QueueDepth:    len(d.queue) + len(d.pending),
-		RoutedWorkers: len(d.owner),
-		RoutedTasks:   len(d.taskOf),
+		Now:             d.clock,
+		Epochs:          d.epochs,
+		Ingested:        d.ingested.Load(),
+		Applied:         d.applied.Load(),
+		Unroutable:      d.unroutable.Load(),
+		QueueDepth:      len(d.queue) + len(d.pending),
+		RoutedWorkers:   len(d.owner),
+		RoutedTasks:     len(d.taskOf),
+		RoutedGhosts:    len(d.ghosts),
+		GhostCopies:     d.ghostCopies,
+		GhostHits:       d.ghostHits,
+		CommitConflicts: d.conflicts,
+		Retractions:     d.retractions,
 	}
 	m.EpochP50, m.EpochP95, m.EpochP99 = d.lat.percentiles()
 	for i, sh := range d.shards {

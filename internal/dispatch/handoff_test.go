@@ -1,0 +1,279 @@
+package dispatch
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/workload"
+)
+
+// The handoff tests run on a 2×2 grid over [0,4)² with two shards: the
+// banded ownership map gives row 0 (y < 2) to shard 0 and row 1 (y ≥ 2) to
+// shard 1, so y = 2 is the boundary the halo protocol must bridge.
+func handoffConfig(shards int, halo float64) Config {
+	return Config{
+		Shards:     shards,
+		Grid:       geo.NewGrid(geo.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}, 2, 2),
+		HaloRadius: halo,
+		Step:       1,
+		Travel:     travel,
+		NewPlanner: greedyFactory(),
+	}
+}
+
+// TestGhostMakesBoundaryTaskVisible is the tentpole's core scenario: a task
+// owned by one shard, reachable only by a worker pinned to the neighboring
+// shard. With halo replication the worker sees and serves it; with
+// replication disabled it expires unseen — the documented pre-halo bug.
+func TestGhostMakesBoundaryTaskVisible(t *testing.T) {
+	run := func(halo float64) Metrics {
+		d := New(handoffConfig(2, halo))
+		// Worker in shard 0, 0.2 km south of the task across the boundary.
+		d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 1, Y: 1.9}, Reach: 1, On: 0, Off: 4000})
+		d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 1, Y: 2.1}, Pub: 0, Exp: 600, Cell: -1})
+		d.Advance(700)
+		return d.Snapshot()
+	}
+
+	m := run(0) // auto halo = the worker's 1 km reach
+	if m.Assigned != 1 || m.Expired != 0 {
+		t.Fatalf("halo on: assigned/expired = %d/%d, want 1/0", m.Assigned, m.Expired)
+	}
+	if m.GhostCopies != 1 || m.GhostHits != 1 {
+		t.Fatalf("halo on: ghost copies/hits = %d/%d, want 1/1", m.GhostCopies, m.GhostHits)
+	}
+	if m.RoutedGhosts != 0 || m.RoutedTasks != 0 {
+		t.Fatalf("halo on: routing not drained: ghosts=%d tasks=%d", m.RoutedGhosts, m.RoutedTasks)
+	}
+
+	m = run(-1) // replication disabled: boundary-blind
+	if m.Assigned != 0 || m.Expired != 1 {
+		t.Fatalf("halo off: assigned/expired = %d/%d, want 0/1", m.Assigned, m.Expired)
+	}
+	if m.GhostCopies != 0 {
+		t.Fatalf("halo off: %d ghost copies created", m.GhostCopies)
+	}
+}
+
+// TestArbitrationPicksEarliestArrival pins the conflict protocol: two shards
+// commit the same boundary task in one epoch; the closer worker (earlier
+// arrival) wins regardless of which shard owns the task, the loser is
+// retracted, and the task is assigned exactly once.
+func TestArbitrationPicksEarliestArrival(t *testing.T) {
+	d := New(handoffConfig(2, 0))
+	// Task owned by shard 1; the shard-0 worker competes through a ghost.
+	d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 1, Y: 1.4}, Reach: 1, On: 0, Off: 4000})
+	d.WorkerOnline(&core.Worker{ID: 2, Loc: geo.Point{X: 1, Y: 2.5}, Reach: 1, On: 0, Off: 4000})
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 1, Y: 2.1}, Pub: 0, Exp: 600, Cell: -1})
+	d.Advance(1)
+	m := d.Snapshot()
+	if m.Assigned != 1 {
+		t.Fatalf("assigned = %d, want exactly 1 (double commit must arbitrate)", m.Assigned)
+	}
+	if m.CommitConflicts != 1 || m.Retractions != 1 {
+		t.Fatalf("conflicts/retractions = %d/%d, want 1/1", m.CommitConflicts, m.Retractions)
+	}
+	// Worker 2 is 0.4 km away, worker 1 is 0.7 km: worker 2 arrives first.
+	if wp, ok := d.PlanOf(2); !ok || wp.Committed != 10 {
+		t.Fatalf("winner plan = %+v, want worker 2 committed to task 10", wp)
+	}
+	if wp, ok := d.PlanOf(1); !ok || wp.Committed != -1 {
+		t.Fatalf("loser plan = %+v, want worker 1 idle after retraction", wp)
+	}
+	// The owner's commit won here, so the win is not a ghost hit.
+	if m.GhostHits != 0 {
+		t.Fatalf("ghost hits = %d, want 0 (owner shard won)", m.GhostHits)
+	}
+}
+
+// TestArbitrationGhostWin mirrors the conflict with the geometry flipped:
+// the non-owner shard's worker is closer, so the ghost commit must win and
+// the owner's copy must be dropped.
+func TestArbitrationGhostWin(t *testing.T) {
+	d := New(handoffConfig(2, 0))
+	d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 1, Y: 1.8}, Reach: 1, On: 0, Off: 4000})
+	d.WorkerOnline(&core.Worker{ID: 2, Loc: geo.Point{X: 1, Y: 2.9}, Reach: 1, On: 0, Off: 4000})
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 1, Y: 2.1}, Pub: 0, Exp: 600, Cell: -1})
+	d.Advance(1)
+	m := d.Snapshot()
+	if m.Assigned != 1 || m.CommitConflicts != 1 || m.Retractions != 1 {
+		t.Fatalf("assigned/conflicts/retractions = %d/%d/%d, want 1/1/1",
+			m.Assigned, m.CommitConflicts, m.Retractions)
+	}
+	if wp, ok := d.PlanOf(1); !ok || wp.Committed != 10 {
+		t.Fatalf("winner plan = %+v, want worker 1 committed via its ghost copy", wp)
+	}
+	if m.GhostHits != 1 {
+		t.Fatalf("ghost hits = %d, want 1 (non-owner shard won)", m.GhostHits)
+	}
+}
+
+// TestRetractedWorkerResumesPlan: a loser whose plan held a second task must
+// take it in the same epoch rather than idling until the next replan.
+func TestRetractedWorkerResumesPlan(t *testing.T) {
+	d := New(handoffConfig(2, 0))
+	d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 1, Y: 1.9}, Reach: 2, On: 0, Off: 9000})
+	d.WorkerOnline(&core.Worker{ID: 2, Loc: geo.Point{X: 1, Y: 2.2}, Reach: 2, On: 0, Off: 9000})
+	// The contended boundary task, plus a fallback deep in shard 0 that only
+	// worker 1 plans (worker 2 is farther from it than worker 1).
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 1, Y: 2.1}, Pub: 0, Exp: 900, Cell: -1})
+	d.SubmitTask(&core.Task{ID: 11, Loc: geo.Point{X: 1, Y: 1.0}, Pub: 0, Exp: 900, Cell: -1})
+	d.Advance(1)
+	m := d.Snapshot()
+	if m.Assigned != 2 {
+		t.Fatalf("assigned = %d, want 2 (loser resumes remaining plan in-epoch)", m.Assigned)
+	}
+	if wp, ok := d.PlanOf(1); !ok || wp.Committed != 11 {
+		t.Fatalf("retracted worker plan = %+v, want committed to fallback task 11", wp)
+	}
+}
+
+// TestArbitrationDropsBeforeRetracting pins the two-phase round: all copies
+// of every arbitrated task are purged before any loser resumes its plan. A
+// loser whose plan holds a replica of a task arbitrated *later* in the same
+// round must not commit it — its committed owner copy is in that task's
+// group, so a resume-commit would assign the task twice.
+func TestArbitrationDropsBeforeRetracting(t *testing.T) {
+	d := New(handoffConfig(2, 0))
+	// Shard 0: worker 1 mid-way between the boundary tasks, planning both
+	// via ghosts. Shard 1: workers 2 and 3, each on top of one task.
+	d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 1.8, Y: 1.95}, Reach: 1.5, On: 0, Off: 9000})
+	d.WorkerOnline(&core.Worker{ID: 2, Loc: geo.Point{X: 1, Y: 2.05}, Reach: 1, On: 0, Off: 9000})
+	d.WorkerOnline(&core.Worker{ID: 3, Loc: geo.Point{X: 2.5, Y: 2.1}, Reach: 1, On: 0, Off: 9000})
+	// Ids are chosen so the contended task (5, the one worker 1 plans
+	// first) is arbitrated before the task its resume would steal (9).
+	d.SubmitTask(&core.Task{ID: 5, Loc: geo.Point{X: 2.5, Y: 2.05}, Pub: 0, Exp: 900, Cell: -1})
+	d.SubmitTask(&core.Task{ID: 9, Loc: geo.Point{X: 1, Y: 2.0}, Pub: 0, Exp: 900, Cell: -1})
+	d.Advance(1)
+	m := d.Snapshot()
+	if m.Assigned > 2 {
+		t.Fatalf("assigned = %d for 2 tasks: a retraction resume double-committed an arbitrated task", m.Assigned)
+	}
+	if m.Assigned != 2 {
+		t.Fatalf("assigned = %d, want 2", m.Assigned)
+	}
+	if wp, ok := d.PlanOf(1); !ok || wp.Committed != -1 {
+		t.Fatalf("loser plan = %+v, want worker 1 idle (both its plan entries were won elsewhere)", wp)
+	}
+	if wp, ok := d.PlanOf(2); !ok || wp.Committed != 9 {
+		t.Fatalf("worker 2 plan = %+v, want committed to task 9", wp)
+	}
+	if wp, ok := d.PlanOf(3); !ok || wp.Committed != 5 {
+		t.Fatalf("worker 3 plan = %+v, want committed to task 5", wp)
+	}
+}
+
+// TestAutoHaloWidensForLateLongReachWorker pins reGhost: a task submitted
+// while no worker is online is not replicated (auto halo radius 0), but a
+// long-reach worker coming online later widens the halo and the already-open
+// boundary task must become visible to its shard retroactively.
+func TestAutoHaloWidensForLateLongReachWorker(t *testing.T) {
+	d := New(handoffConfig(2, 0))
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 1, Y: 2.1}, Pub: 0, Exp: 900, Cell: -1})
+	d.Advance(2)
+	if m := d.Snapshot(); m.GhostCopies != 0 {
+		t.Fatalf("ghost copies before any worker = %d, want 0", m.GhostCopies)
+	}
+	d.Ingest(Event{Time: 2, Kind: KindWorkerOnline,
+		Worker: &core.Worker{ID: 1, Loc: geo.Point{X: 1, Y: 1.5}, Reach: 1, On: 2, Off: 4000}})
+	d.Advance(700)
+	m := d.Snapshot()
+	if m.Assigned != 1 || m.GhostCopies != 1 || m.GhostHits != 1 {
+		t.Fatalf("assigned/copies/hits = %d/%d/%d, want 1/1/1 (reGhost must replicate the open task)",
+			m.Assigned, m.GhostCopies, m.GhostHits)
+	}
+}
+
+// TestOffMapTaskStillReplicated: ownership routing clamps off-map points to
+// boundary cells, so the halo query must reason from the same snapped
+// geometry. A worker/task pair beyond the region's east edge, straddling the
+// row boundary's extension, lands in different shards — the ghost must still
+// bridge them even though the task's exact disk overlaps no grid cell.
+func TestOffMapTaskStillReplicated(t *testing.T) {
+	d := New(handoffConfig(2, 0))
+	d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 6, Y: 1.9}, Reach: 1, On: 0, Off: 4000})
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 6, Y: 2.1}, Pub: 0, Exp: 600, Cell: -1})
+	d.Advance(700)
+	m := d.Snapshot()
+	if m.Assigned != 1 || m.Expired != 0 {
+		t.Fatalf("assigned/expired = %d/%d, want 1/0 (off-map boundary pair must hand off)", m.Assigned, m.Expired)
+	}
+	if m.GhostCopies == 0 || m.GhostHits != 1 {
+		t.Fatalf("ghost copies/hits = %d/%d, want >0/1", m.GhostCopies, m.GhostHits)
+	}
+}
+
+// TestGhostExpiryCountedOnce: a replicated task that nobody serves expires
+// in every shard holding a copy but must count exactly once.
+func TestGhostExpiryCountedOnce(t *testing.T) {
+	d := New(handoffConfig(2, 1.5))
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 1, Y: 2.1}, Pub: 0, Exp: 10, Cell: -1})
+	d.Advance(20)
+	m := d.Snapshot()
+	if m.GhostCopies != 1 {
+		t.Fatalf("ghost copies = %d, want 1 (fixed 1.5 km halo spans the boundary)", m.GhostCopies)
+	}
+	if m.Assigned != 0 || m.Expired != 1 {
+		t.Fatalf("assigned/expired = %d/%d, want 0/1 (replica expiry must not double count)",
+			m.Assigned, m.Expired)
+	}
+	if m.RoutedGhosts != 0 || m.RoutedTasks != 0 {
+		t.Fatalf("routing not drained after expiry: ghosts=%d tasks=%d", m.RoutedGhosts, m.RoutedTasks)
+	}
+}
+
+// TestCancelDropsGhostCopies: withdrawing a replicated task must purge every
+// replica before the next planning instant, or a ghost shard could assign a
+// cancelled task.
+func TestCancelDropsGhostCopies(t *testing.T) {
+	d := New(handoffConfig(2, 1.5))
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 1, Y: 2.1}, Pub: 0, Exp: 900, Cell: -1})
+	d.Advance(1)
+	if m := d.Snapshot(); m.RoutedGhosts != 1 {
+		t.Fatalf("routed ghosts = %d, want 1", m.RoutedGhosts)
+	}
+	d.CancelTask(10)
+	// A worker that could have served the replica comes online after the
+	// cancel lands in the same epoch batch.
+	d.Ingest(Event{Time: d.Now(), Kind: KindWorkerOnline,
+		Worker: &core.Worker{ID: 1, Loc: geo.Point{X: 1, Y: 1.9}, Reach: 1, On: 1, Off: 4000}})
+	d.Advance(300)
+	m := d.Snapshot()
+	if m.Cancelled != 1 || m.Assigned != 0 {
+		t.Fatalf("cancelled/assigned = %d/%d, want 1/0 (replica of a cancelled task was assignable)",
+			m.Cancelled, m.Assigned)
+	}
+	if m.RoutedGhosts != 0 {
+		t.Fatalf("routed ghosts = %d after cancel, want 0", m.RoutedGhosts)
+	}
+}
+
+// TestHandoffDeterministicAcrossParallelism extends the determinism contract
+// to the halo protocol: with replication and arbitration active on a real
+// trace, the outcome — ghost and conflict counters included — is
+// byte-identical across runs and parallelism levels.
+func TestHandoffDeterministicAcrossParallelism(t *testing.T) {
+	cfg := workload.Yueche().Scaled(0.1)
+	cfg.HistoryDuration = 0
+	sc := workload.Generate(cfg)
+	run := func(parallelism int) string {
+		d := New(Config{
+			Shards: 4, Grid: sc.Grid, Step: 2, Now: sc.T0,
+			Travel: travel, NewPlanner: searchFactory(), Parallelism: parallelism,
+		})
+		m := LoadGen{Events: sc.Events(), T1: sc.T1}.Run(d).Metrics
+		if m.GhostCopies == 0 {
+			t.Fatal("trace produced no ghost replicas; the handoff path is not exercised")
+		}
+		return digest(m)
+	}
+	ref := run(1)
+	for run2 := 0; run2 < 2; run2++ {
+		for _, parallelism := range []int{1, 4, 0} {
+			if got := run(parallelism); got != ref {
+				t.Fatalf("parallelism %d diverged:\n got %s\nwant %s", parallelism, got, ref)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -91,6 +92,10 @@ func (h *Handler) workerOnline(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "id, reach and avail must be positive")
 		return
 	}
+	if !finite(req.X, req.Y, req.Reach, req.Avail) {
+		httpError(w, http.StatusBadRequest, "x, y, reach and avail must be finite")
+		return
+	}
 	now := h.d.Now()
 	h.d.WorkerOnline(&core.Worker{
 		ID: req.ID, Loc: geo.Point{X: req.X, Y: req.Y},
@@ -113,6 +118,10 @@ func (h *Handler) heartbeat(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	if !finite(req.X, req.Y) {
+		httpError(w, http.StatusBadRequest, "x and y must be finite")
+		return
+	}
 	h.d.Heartbeat(req.ID, geo.Point{X: req.X, Y: req.Y})
 	writeJSON(w, http.StatusAccepted, acceptedResp{ID: req.ID, Time: h.d.Now()})
 }
@@ -124,6 +133,10 @@ func (h *Handler) submitTask(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Valid <= 0 {
 		httpError(w, http.StatusBadRequest, "valid must be positive")
+		return
+	}
+	if !finite(req.X, req.Y, req.Valid) {
+		httpError(w, http.StatusBadRequest, "x, y and valid must be finite")
 		return
 	}
 	// Negative ids are reserved for forecaster-generated virtual tasks and
@@ -171,6 +184,18 @@ func (h *Handler) plan(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, h.d.Snapshot())
+}
+
+// finite rejects NaN and ±Inf inputs before they reach shard routing: a
+// non-finite coordinate would poison the grid-cell arithmetic every ownership
+// and replication decision is built on.
+func finite(vals ...float64) bool {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 func decode(w http.ResponseWriter, r *http.Request, into any) bool {

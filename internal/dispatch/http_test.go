@@ -97,6 +97,16 @@ func TestHTTPValidation(t *testing.T) {
 		{"/v1/tasks", `{"x":1,"valid":0}`},
 		{"/v1/tasks", `not json`},
 		{"/v1/workers", `{"unknown_field":true}`},
+		// Non-finite coordinates must never reach shard routing: overflowing
+		// numbers are rejected at decode time, NaN/Infinity tokens are not
+		// valid JSON, and the handlers' finite() guard backstops both.
+		{"/v1/workers", `{"id":1,"x":1e999,"y":0,"reach":1,"avail":10}`},
+		{"/v1/workers", `{"id":1,"x":0,"y":-1e999,"reach":1,"avail":10}`},
+		{"/v1/workers", `{"id":1,"x":NaN,"y":0,"reach":1,"avail":10}`},
+		{"/v1/tasks", `{"id":1,"x":1e999,"y":0,"valid":10}`},
+		{"/v1/tasks", `{"id":1,"x":0,"y":Infinity,"valid":10}`},
+		{"/v1/workers/heartbeat", `{"id":1,"x":1e999,"y":0}`},
+		{"/v1/workers/heartbeat", `{"id":1,"x":0,"y":-Infinity}`},
 	}
 	for _, tc := range bad {
 		resp, err := http.Post(srv.URL+tc.path, "application/json", bytes.NewBufferString(tc.body))

@@ -121,24 +121,24 @@ func (g Grid) Cells() int { return g.Rows * g.Cols }
 
 // CellOf returns the index of the cell containing p. Points outside the
 // region are clamped to the nearest boundary cell, so every point maps to a
-// valid cell; this mirrors how city traces snap off-map GPS fixes.
+// valid cell; this mirrors how city traces snap off-map GPS fixes. The
+// clamp happens in the float domain: a coordinate beyond int range — or NaN,
+// which fails every ordered comparison — resolves to a boundary cell instead
+// of feeding an implementation-defined float→int conversion.
 func (g Grid) CellOf(p Point) int {
 	cw := g.Region.Width() / float64(g.Cols)
 	ch := g.Region.Height() / float64(g.Rows)
-	col := int((p.X - g.Region.MinX) / cw)
-	row := int((p.Y - g.Region.MinY) / ch)
-	if col < 0 {
-		col = 0
+	clamp := func(v float64, n int) int {
+		if !(v > 0) { // also catches NaN
+			return 0
+		}
+		if v >= float64(n) {
+			return n - 1
+		}
+		return int(v)
 	}
-	if col >= g.Cols {
-		col = g.Cols - 1
-	}
-	if row < 0 {
-		row = 0
-	}
-	if row >= g.Rows {
-		row = g.Rows - 1
-	}
+	col := clamp((p.X-g.Region.MinX)/cw, g.Cols)
+	row := clamp((p.Y-g.Region.MinY)/ch, g.Rows)
 	return row*g.Cols + col
 }
 

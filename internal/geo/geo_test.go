@@ -186,6 +186,12 @@ func TestGridClampsOutside(t *testing.T) {
 		{Point{100, -1}, 1},
 		{Point{-1, 100}, 2},
 		{Point{100, 100}, 3},
+		// Magnitudes beyond int range and non-finite coordinates must clamp
+		// in the float domain, never feed an implementation-defined
+		// float→int conversion.
+		{Point{1e308, -1e308}, 1},
+		{Point{math.Inf(-1), math.Inf(1)}, 2},
+		{Point{math.NaN(), math.NaN()}, 0},
 	}
 	for _, c := range cases {
 		if got := g.CellOf(c.p); got != c.want {

@@ -37,6 +37,50 @@ import (
 	"repro/internal/geo"
 )
 
+// CellsInDisk returns the indices of the cells of g whose rectangle
+// intersects the closed disk of radius r around p, in ascending (row-major)
+// cell order. It is the boundary-disk query behind cross-shard task handoff
+// (internal/dispatch): the cells a reachability disk overlaps determine
+// which shards must see a replica of the task at its center. A negative or
+// NaN r returns nil; +Inf returns every cell; r == 0 returns the cell
+// containing an in-region p. The test is exact rectangle–disk intersection,
+// so a point outside the region reaches only the cells its disk truly
+// overlaps (unlike Grid.CellOf, which clamps).
+func CellsInDisk(g geo.Grid, p geo.Point, r float64) []int {
+	if r < 0 || math.IsNaN(r) || math.IsInf(r, 1) {
+		if math.IsInf(r, 1) {
+			out := make([]int, g.Cells())
+			for i := range out {
+				out[i] = i
+			}
+			return out
+		}
+		return nil
+	}
+	c0 := g.CellOf(geo.Point{X: p.X - r, Y: p.Y - r})
+	c1 := g.CellOf(geo.Point{X: p.X + r, Y: p.Y + r})
+	row0, col0 := c0/g.Cols, c0%g.Cols
+	row1, col1 := c1/g.Cols, c1%g.Cols
+	var out []int
+	for row := row0; row <= row1; row++ {
+		for col := col0; col <= col1; col++ {
+			i := row*g.Cols + col
+			rect := g.CellRect(i)
+			// Distance from p to the nearest point of the cell rectangle;
+			// the disk intersects the cell iff it is ≤ r. The upper edges are
+			// exclusive (cells tile disjointly), but the closed-rect distance
+			// is what makes a disk tangent to a boundary see both sides —
+			// exactly the conservative behavior replication wants.
+			dx := math.Max(0, math.Max(rect.MinX-p.X, p.X-rect.MaxX))
+			dy := math.Max(0, math.Max(rect.MinY-p.Y, p.Y-rect.MaxY))
+			if dx*dx+dy*dy <= r*r {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
 // Index is a uniform grid over a fixed set of tasks. It is immutable after
 // construction and safe for concurrent queries from multiple goroutines.
 type Index struct {

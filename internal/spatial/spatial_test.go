@@ -176,3 +176,62 @@ func TestExtremeRadiiAndFarQueries(t *testing.T) {
 	far := geo.Point{X: 1e12, Y: -1e12}
 	sameTasks(t, ix.Within(far, 0.5), bruteWithin(tasks, far, 0.5))
 }
+
+// bruteCellsInDisk is the linear-scan oracle: every cell whose rectangle's
+// nearest point lies within r of p.
+func bruteCellsInDisk(g geo.Grid, p geo.Point, r float64) []int {
+	var out []int
+	for i := 0; i < g.Cells(); i++ {
+		rect := g.CellRect(i)
+		dx := math.Max(0, math.Max(rect.MinX-p.X, p.X-rect.MaxX))
+		dy := math.Max(0, math.Max(rect.MinY-p.Y, p.Y-rect.MaxY))
+		if dx*dx+dy*dy <= r*r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestCellsInDiskMatchesOracle(t *testing.T) {
+	g := geo.NewGrid(geo.Rect{MinX: -2, MinY: 1, MaxX: 10, MaxY: 7}, 4, 6)
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 500; trial++ {
+		p := geo.Point{X: -4 + 16*r.Float64(), Y: -1 + 10*r.Float64()}
+		radius := 3 * r.Float64()
+		got := CellsInDisk(g, p, radius)
+		want := bruteCellsInDisk(g, p, radius)
+		if len(got) != len(want) {
+			t.Fatalf("p=%+v r=%v: got %v want %v", p, radius, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("p=%+v r=%v: got %v want %v (order must be ascending)", p, radius, got, want)
+			}
+		}
+	}
+}
+
+func TestCellsInDiskEdgeCases(t *testing.T) {
+	g := geo.NewGrid(geo.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}, 2, 2)
+	if got := CellsInDisk(g, geo.Point{X: 1, Y: 1}, -1); got != nil {
+		t.Fatalf("negative radius returned %v", got)
+	}
+	if got := CellsInDisk(g, geo.Point{X: 1, Y: 1}, math.NaN()); got != nil {
+		t.Fatalf("NaN radius returned %v", got)
+	}
+	if got := CellsInDisk(g, geo.Point{X: 1, Y: 1}, math.Inf(1)); len(got) != g.Cells() {
+		t.Fatalf("infinite radius returned %v, want every cell", got)
+	}
+	// Zero radius: exactly the containing cell for an in-region point; a
+	// point outside the region overlaps nothing (no CellOf-style clamping).
+	if got := CellsInDisk(g, geo.Point{X: 1, Y: 1}, 0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("zero radius returned %v, want [0]", got)
+	}
+	if got := CellsInDisk(g, geo.Point{X: -99, Y: 99}, 0); got != nil {
+		t.Fatalf("off-map zero radius returned %v, want nothing", got)
+	}
+	// A disk tangent to the shared boundary sees both sides.
+	if got := CellsInDisk(g, geo.Point{X: 1, Y: 1.5}, 0.5); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("tangent disk returned %v, want [0 2]", got)
+	}
+}

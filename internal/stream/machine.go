@@ -31,6 +31,11 @@ type MachineConfig struct {
 	// routing maps from growing forever. Off for replay engines, which never
 	// drain the lists.
 	TrackRemovals bool
+	// TrackCommits makes the machine log every real-task commitment for
+	// collection via TakeCommits — the raw material of the sharded
+	// dispatcher's cross-shard commit arbitration. Off for replay engines,
+	// which have no competing machines.
+	TrackCommits bool
 }
 
 func (c MachineConfig) withDefaults() MachineConfig {
@@ -103,6 +108,7 @@ type Machine struct {
 	open      map[int]*core.Task // published, unexpired, unassigned real tasks
 	openOrder []*core.Task
 	reserved  map[int]bool // task ids locked into fixed (FTA) plans
+	ghost     map[int]bool // open tasks owned by another shard (read-only replicas)
 	published []*core.Task // all real tasks published so far (history feed)
 	virtuals  []*core.Task
 
@@ -111,6 +117,18 @@ type Machine struct {
 	// Removal logs, populated only when cfg.TrackRemovals is set.
 	departed []int
 	closed   []int
+	// Commit log, populated only when cfg.TrackCommits is set.
+	commits []Commit
+}
+
+// Commit records one real-task commitment made during a Step, for cross-
+// shard arbitration: which worker took which task, and when it will arrive.
+type Commit struct {
+	Task   int
+	Worker int
+	// Arrive is the worker's arrival instant at the task — the deterministic
+	// quality signal arbitration prefers (earlier arrival wins).
+	Arrive float64
 }
 
 // NewMachine returns an empty machine.
@@ -120,6 +138,7 @@ func NewMachine(cfg MachineConfig) *Machine {
 		byWorker:     make(map[int]*workerState),
 		open:         make(map[int]*core.Task),
 		reserved:     make(map[int]bool),
+		ghost:        make(map[int]bool),
 		lastForecast: math.Inf(-1),
 	}
 }
@@ -169,6 +188,70 @@ func (m *Machine) AddTask(s *core.Task, now float64) bool {
 	return true
 }
 
+// AddGhost publishes a read-only replica of a task owned by another shard's
+// machine — the cross-shard handoff path of the sharded dispatcher. Ghosts
+// plan and commit exactly like owned tasks (a won commit is a real
+// assignment, counted here), but their lifecycle is accounted elsewhere: an
+// expired-on-arrival or later-expiring ghost never increments Stats.Expired
+// and never enters the closed-task log, so aggregating shard stats counts
+// each task once. The return value reports admission to the open pool.
+func (m *Machine) AddGhost(s *core.Task, now float64) bool {
+	if s == nil || s.Exp <= now {
+		return false
+	}
+	if _, dup := m.open[s.ID]; dup {
+		return false
+	}
+	m.open[s.ID] = s
+	m.openOrder = append(m.openOrder, s)
+	m.ghost[s.ID] = true
+	return true
+}
+
+// DropTask silently removes an open task (owned or ghost): no stats, no
+// closed-task log entry. It is the arbitration/cancel cleanup hook — once a
+// replicated task is committed or withdrawn anywhere, every other copy must
+// leave its pool before the next planning instant, or two shards could
+// assign the same task. It reports whether a task left the open pool.
+func (m *Machine) DropTask(id int) bool {
+	s, ok := m.open[id]
+	if !ok {
+		return false
+	}
+	delete(m.open, s.ID)
+	delete(m.reserved, s.ID)
+	delete(m.ghost, s.ID)
+	return true
+}
+
+// TakeCommits returns and clears the commitments made since the last call.
+// Empty unless MachineConfig.TrackCommits is set.
+func (m *Machine) TakeCommits() []Commit {
+	out := m.commits
+	m.commits = nil
+	return out
+}
+
+// RetractCommit undoes a commitment the worker made this Step — the losing
+// side of cross-shard arbitration, invoked before the clock advances past
+// the planning instant now. The worker snaps back to its pre-commit
+// position, the assignment is uncounted, and the worker immediately resumes
+// executing the remainder of its plan (which may produce further commits for
+// the next arbitration round). The task itself stays out of the open pool:
+// it was won by another shard. It reports whether the commitment existed.
+func (m *Machine) RetractCommit(workerID, taskID int, now float64) bool {
+	ws, ok := m.byWorker[workerID]
+	if !ok || ws.committed == nil || ws.committed.ID != taskID {
+		return false
+	}
+	ws.moving = false
+	ws.w.Loc = ws.origin
+	ws.committed = nil
+	m.stats.Assigned--
+	m.executeWorker(ws, now)
+	return true
+}
+
 // RemoveWorker ends a worker's availability window at time now — the
 // dispatcher's worker-offline event. An idle or repositioning worker leaves
 // immediately (exactly what the next Step's eviction would do, so the same
@@ -207,6 +290,11 @@ func (m *Machine) CancelTask(id int) bool {
 	}
 	delete(m.open, s.ID)
 	delete(m.reserved, s.ID)
+	if m.ghost[s.ID] {
+		// Replica of another shard's task: the owner accounts the cancel.
+		delete(m.ghost, s.ID)
+		return true
+	}
 	m.stats.Cancelled++
 	m.noteClosure(s.ID)
 	return true
@@ -286,6 +374,14 @@ func (m *Machine) HasOpenTask(id int) bool {
 	return ok
 }
 
+// OpenTask returns the open task with this id, if any. The caller must
+// treat the task as read-only: owned copies may be shared with other shards
+// as ghosts.
+func (m *Machine) OpenTask(id int) (*core.Task, bool) {
+	s, ok := m.open[id]
+	return s, ok
+}
+
 // OpenTasks returns the number of open (published, unexpired, unassigned)
 // real tasks.
 func (m *Machine) OpenTasks() int { return len(m.open) }
@@ -334,16 +430,24 @@ func (m *Machine) completeMotions(t float64) {
 	}
 }
 
-// evict drops expired open tasks and departed workers (line 15).
+// evict drops expired open tasks and departed workers (line 15). Membership
+// of openOrder is checked by pointer identity, not id: after a cancel (or
+// cross-shard drop) an id can be reused within the same epoch batch, and an
+// id-only check would resurrect the closed entry alongside the new task.
 func (m *Machine) evict(t float64) {
 	var keptTasks []*core.Task
 	for _, s := range m.openOrder {
-		if _, ok := m.open[s.ID]; !ok {
+		if m.open[s.ID] != s {
 			continue
 		}
 		if s.Exp <= t {
 			delete(m.open, s.ID)
 			delete(m.reserved, s.ID)
+			// A ghost's lifecycle is accounted by its owning shard.
+			if m.ghost[s.ID] {
+				delete(m.ghost, s.ID)
+				continue
+			}
 			m.stats.Expired++
 			m.noteClosure(s.ID)
 			continue
@@ -460,10 +564,12 @@ func (m *Machine) plan(t float64) {
 		workers[i] = ws.w
 	}
 
-	// Planning pool: open unreserved real tasks plus current virtuals.
+	// Planning pool: open unreserved real tasks plus current virtuals. The
+	// identity check (not just id membership) keeps a stale openOrder entry
+	// for a closed-and-reused id out of the pool.
 	var pool []*core.Task
 	for _, s := range m.openOrder {
-		if _, ok := m.open[s.ID]; ok && !m.reserved[s.ID] {
+		if m.open[s.ID] == s && !m.reserved[s.ID] {
 			pool = append(pool, s)
 		}
 	}
@@ -506,40 +612,55 @@ func (m *Machine) plan(t float64) {
 // (Algorithm 3 lines 10–14).
 func (m *Machine) execute(t float64) {
 	for _, ws := range m.active {
-		if ws.moving || !ws.w.Available(t) {
+		m.executeWorker(ws, t)
+	}
+}
+
+// executeWorker runs one worker's plan head until it is moving or the plan
+// runs dry. It is also the resume path after a commit retraction.
+func (m *Machine) executeWorker(ws *workerState, t float64) {
+	if ws.moving || !ws.w.Available(t) {
+		return
+	}
+	for len(ws.plan) > 0 && !ws.moving {
+		head := ws.plan[0]
+		ws.plan = ws.plan[1:]
+		if head.Virtual {
+			// Reposition toward predicted demand; interruptible.
+			if head.Exp <= t {
+				continue
+			}
+			if geo.Dist(ws.w.Loc, head.Loc) < 1e-9 {
+				// Already positioned at the predicted demand: hold
+				// here and let the next planned task (if any) start.
+				continue
+			}
+			m.startMotion(ws, t, head.Loc, nil)
+			m.stats.Repositions++
 			continue
 		}
-		for len(ws.plan) > 0 && !ws.moving {
-			head := ws.plan[0]
-			ws.plan = ws.plan[1:]
-			if head.Virtual {
-				// Reposition toward predicted demand; interruptible.
-				if head.Exp <= t {
-					continue
-				}
-				if geo.Dist(ws.w.Loc, head.Loc) < 1e-9 {
-					// Already positioned at the predicted demand: hold
-					// here and let the next planned task (if any) start.
-					continue
-				}
-				m.startMotion(ws, t, head.Loc, nil)
-				m.stats.Repositions++
-				continue
-			}
-			// Revalidate the head against the live clock before committing.
-			if _, stillOpen := m.open[head.ID]; !stillOpen {
-				continue
-			}
-			arrive := t + m.cfg.Travel.Time(ws.w.Loc, head.Loc)
-			if arrive >= head.Exp || arrive >= ws.w.Off {
-				continue // no longer satisfiable; try the next planned task
-			}
-			delete(m.open, head.ID)
-			delete(m.reserved, head.ID)
-			m.stats.Assigned++
-			m.noteClosure(head.ID)
-			m.startMotion(ws, t, head.Loc, head)
+		// Revalidate the head against the live clock before committing. The
+		// identity check also rejects a plan entry whose id was closed and
+		// reused by a different task within the same epoch.
+		if m.open[head.ID] != head {
+			continue
 		}
+		arrive := t + m.cfg.Travel.Time(ws.w.Loc, head.Loc)
+		if arrive >= head.Exp || arrive >= ws.w.Off {
+			continue // no longer satisfiable; try the next planned task
+		}
+		delete(m.open, head.ID)
+		delete(m.reserved, head.ID)
+		m.stats.Assigned++
+		if m.ghost[head.ID] {
+			delete(m.ghost, head.ID)
+		} else {
+			m.noteClosure(head.ID)
+		}
+		if m.cfg.TrackCommits {
+			m.commits = append(m.commits, Commit{Task: head.ID, Worker: ws.w.ID, Arrive: arrive})
+		}
+		m.startMotion(ws, t, head.Loc, head)
 	}
 }
 

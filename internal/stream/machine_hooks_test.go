@@ -1,0 +1,135 @@
+package stream
+
+import (
+	"testing"
+)
+
+// trackedMachine returns a machine with the dispatcher-facing hooks on:
+// removal, commit, and ghost tracking.
+func trackedMachine() *Machine {
+	return NewMachine(MachineConfig{
+		Planner: searchPlanner(), Travel: travel,
+		TrackRemovals: true, TrackCommits: true,
+	})
+}
+
+// TestMachineGhostLifecycle: a ghost plans and commits like an owned task,
+// but its expiry is silent — no Expired count, no closed-task log entry.
+func TestMachineGhostLifecycle(t *testing.T) {
+	// Expiring ghost: silent.
+	m := trackedMachine()
+	if !m.AddGhost(task(1, 0.1, 0, 0, 10), 0) {
+		t.Fatal("fresh ghost rejected")
+	}
+	if m.AddGhost(task(1, 0.2, 0, 0, 10), 0) {
+		t.Fatal("duplicate ghost id admitted")
+	}
+	if m.AddGhost(task(2, 0.1, 0, 0, 5), 6) {
+		t.Fatal("expired-on-arrival ghost admitted")
+	}
+	m.Step(20)
+	if st := m.Stats(); st.Expired != 0 {
+		t.Fatalf("ghost expiry counted: %+v", st)
+	}
+	if closed := m.TakeClosedTasks(); len(closed) != 0 {
+		t.Fatalf("ghost expiry logged closures %v", closed)
+	}
+
+	// Committed ghost: a real assignment, counted here, logged as a commit
+	// but not as a closure (the owner shard accounts the task's lifecycle).
+	m = trackedMachine()
+	m.AddWorker(worker(1, 0, 0, 1, 0, 1000), 0)
+	m.AddGhost(task(1, 0.1, 0, 0, 500), 0)
+	m.Step(0)
+	if st := m.Stats(); st.Assigned != 1 {
+		t.Fatalf("ghost commit not counted: %+v", st)
+	}
+	commits := m.TakeCommits()
+	if len(commits) != 1 || commits[0].Task != 1 || commits[0].Worker != 1 || commits[0].Arrive != 10 {
+		t.Fatalf("commit log = %+v, want task 1 by worker 1 arriving at 10", commits)
+	}
+	if closed := m.TakeClosedTasks(); len(closed) != 0 {
+		t.Fatalf("ghost commit logged closures %v", closed)
+	}
+}
+
+// TestMachineRetractCommit: retraction undoes the commitment — position,
+// motion, and stats — and the worker resumes the remainder of its plan in
+// the same instant.
+func TestMachineRetractCommit(t *testing.T) {
+	m := trackedMachine()
+	m.AddWorker(worker(1, 0, 0, 1, 0, 1000), 0)
+	m.AddTask(task(1, 0.1, 0, 0, 500), 0)
+	m.AddTask(task(2, 0.3, 0, 0, 500), 0)
+	m.Step(0)
+	commits := m.TakeCommits()
+	if len(commits) != 1 || commits[0].Task != 1 {
+		t.Fatalf("commit log = %+v, want the near task 1", commits)
+	}
+	if !m.RetractCommit(1, 1, 0) {
+		t.Fatal("retraction of a live commit failed")
+	}
+	if m.RetractCommit(1, 1, 0) {
+		t.Fatal("double retraction succeeded")
+	}
+	// The retracted worker must have resumed its plan and taken task 2 from
+	// its original position (arrival 30 = 0.3 km at 10 m/s).
+	commits = m.TakeCommits()
+	if len(commits) != 1 || commits[0].Task != 2 || commits[0].Arrive != 30 {
+		t.Fatalf("resume commit = %+v, want task 2 arriving at 30", commits)
+	}
+	if st := m.Stats(); st.Assigned != 1 {
+		t.Fatalf("assigned = %d after retract+resume, want 1", st.Assigned)
+	}
+	if wp, ok := m.PlanOf(1); !ok || wp.Committed != 2 {
+		t.Fatalf("plan = %+v, want committed to task 2", wp)
+	}
+}
+
+// TestMachineDropTask: a dropped task leaves the pool silently and a plan
+// entry referencing it is skipped at execution.
+func TestMachineDropTask(t *testing.T) {
+	m := trackedMachine()
+	m.AddTask(task(1, 0.1, 0, 0, 500), 0)
+	if !m.DropTask(1) || m.DropTask(1) {
+		t.Fatal("DropTask must succeed once and only once")
+	}
+	if st := m.Stats(); st.Expired != 0 || st.Cancelled != 0 || st.Assigned != 0 {
+		t.Fatalf("drop mutated stats: %+v", st)
+	}
+	if closed := m.TakeClosedTasks(); len(closed) != 0 {
+		t.Fatalf("drop logged closures %v", closed)
+	}
+	if m.OpenTasks() != 0 {
+		t.Fatalf("open tasks = %d after drop", m.OpenTasks())
+	}
+}
+
+// TestMachineIDReuseWithinBatch pins the stale-pointer fix: cancelling a
+// task and reusing its id before the next Step must leave exactly one live
+// copy in the planning pool. Before the identity check two pointers with one
+// id could both enter the pool, and a planner assigning both would trip the
+// fatal plan-consistency panic.
+func TestMachineIDReuseWithinBatch(t *testing.T) {
+	m := trackedMachine()
+	// Two workers, each nearest to one of the two same-id task locations:
+	// with both stale and fresh pointers in the pool the planner would
+	// assign "task 1" twice and Step would panic.
+	m.AddWorker(worker(1, 0, 0, 1, 0, 1000), 0)
+	m.AddWorker(worker(2, 3, 0, 1, 0, 1000), 0)
+	m.AddTask(task(1, 0.1, 0, 0, 500), 0)
+	m.CancelTask(1)
+	m.AddTask(task(1, 3.1, 0, 0, 500), 0)
+	m.Step(0) // must not panic
+	if st := m.Stats(); st.Assigned != 1 || st.Cancelled != 1 {
+		t.Fatalf("assigned/cancelled = %d/%d, want 1/1 (only the fresh copy is live)",
+			st.Assigned, st.Cancelled)
+	}
+	// The fresh copy at x=3.1 belongs to worker 2; worker 1 must stay idle.
+	if wp, ok := m.PlanOf(2); !ok || wp.Committed != 1 {
+		t.Fatalf("worker 2 plan = %+v, want committed to the fresh task", wp)
+	}
+	if wp, ok := m.PlanOf(1); !ok || wp.Committed != -1 || wp.Moving {
+		t.Fatalf("worker 1 plan = %+v, want idle (stale pointer must not be assignable)", wp)
+	}
+}
