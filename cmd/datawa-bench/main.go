@@ -7,10 +7,11 @@
 // perf-sensitive PRs regenerate and CI gates on (see docs/BENCHMARKS.md):
 //
 //	datawa-bench -suite -json
-//	datawa-bench -suite -scales 1,5,20 -methods Greedy,DTA -json=BENCH_4.json
-//	datawa-bench -suite -scales 1 -json=BENCH_ci.json -compare BENCH_4.json
+//	datawa-bench -suite -scales 1,5,20 -methods Greedy,DTA -json=BENCH_5.json
+//	datawa-bench -suite -scales 1 -json=BENCH_ci.json -compare BENCH_5.json
 //	datawa-bench -suite -scales 1 -shards 4 -max-gap 0.01 -json=-
-//	datawa-bench -validate BENCH_4.json
+//	datawa-bench -suite -incremental=false -json=BENCH_full_replan.json
+//	datawa-bench -validate BENCH_5.json
 //
 // Experiment mode (-run) regenerates the tables and figures of the paper's
 // evaluation (Section V) on the synthetic Yueche/DiDi workloads and prints
@@ -48,7 +49,7 @@ import (
 // suiteJSONDefault is where -suite writes its report when -json gives no
 // explicit path. The number tracks the PR that last regenerated the
 // trajectory snapshot at the repo root.
-const suiteJSONDefault = "BENCH_4.json"
+const suiteJSONDefault = "BENCH_5.json"
 
 // compareTolerance is the relative assignment-rate drop -compare accepts
 // before failing (docs/BENCHMARKS.md: perf-sensitive PRs regenerate the
@@ -76,8 +77,10 @@ func main() {
 		methods   = flag.String("methods", "Greedy,DTA", "suite mode: comma-separated assignment methods")
 		shards    = flag.Int("shards", 2, "suite mode: live-path dispatcher shard count")
 		halo      = flag.Float64("halo", 0, "suite mode: cross-shard handoff radius in km (0 = auto from worker reach, negative = disable)")
+		increment = flag.Bool("incremental", true, "suite mode: live-path incremental epoch replanning (plans are identical either way)")
 		step      = flag.Float64("step", 2, "suite mode: planning epoch length in seconds")
-		compare   = flag.String("compare", "", "suite mode: baseline BENCH_*.json; fail on >10% assignment-rate drops or >50% epoch-p95 growth")
+		compare   = flag.String("compare", "", "suite mode: baseline BENCH_*.json; fail on >10% assignment-rate drops or epoch-p95 growth beyond -p95-tolerance")
+		p95Tol    = flag.Float64("p95-tolerance", compareP95Tolerance, "suite mode: relative live epoch-p95 growth -compare accepts (0 disables the latency gate; cross-host nightlies run wider than the default)")
 		maxGap    = flag.Float64("max-gap", -1, "suite mode: fail if any cell's fidelity gap (offline − live assignment rate) exceeds this (e.g. 0.01 = 1pp; negative = off)")
 		validate  = flag.String("validate", "", "validate a BENCH_*.json suite report against the schema and exit")
 	)
@@ -119,6 +122,7 @@ func main() {
 		runSuite(suiteOptions{
 			scenarios: *scenarios, scales: *scales, methods: *methods,
 			shards: *shards, halo: *halo, step: *step, parallel: *parallel,
+			incremental: *increment, p95Tol: *p95Tol,
 			jsonPath: jsonPath.resolve(suiteJSONDefault), compare: *compare, maxGap: *maxGap,
 		})
 	default:
@@ -142,6 +146,8 @@ type suiteOptions struct {
 	halo                       float64
 	step                       float64
 	parallel                   int
+	incremental                bool
+	p95Tol                     float64
 	jsonPath, compare          string
 	maxGap                     float64
 }
@@ -150,12 +156,13 @@ type suiteOptions struct {
 // against a baseline snapshot and against the per-cell fidelity-gap bound.
 func runSuite(so suiteOptions) {
 	opts := benchsuite.Options{
-		Scenarios:   splitList(so.scenarios),
-		Methods:     splitList(so.methods),
-		Shards:      so.shards,
-		HaloRadius:  so.halo,
-		Step:        so.step,
-		Parallelism: so.parallel,
+		Scenarios:          splitList(so.scenarios),
+		Methods:            splitList(so.methods),
+		Shards:             so.shards,
+		HaloRadius:         so.halo,
+		Step:               so.step,
+		Parallelism:        so.parallel,
+		DisableIncremental: !so.incremental,
 	}
 	for _, s := range splitList(so.scales) {
 		f, err := strconv.ParseFloat(s, 64)
@@ -205,12 +212,12 @@ func runSuite(so suiteOptions) {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		n, err := benchsuite.Compare(base, report, compareTolerance, compareP95Tolerance)
+		n, err := benchsuite.Compare(base, report, compareTolerance, so.p95Tol)
 		if err != nil {
 			fatalf("compare against %s: %v", so.compare, err)
 		}
 		fmt.Fprintf(out, "compare against %s: %d cells within %.0f%% assignment-rate and %.0f%% epoch-p95 tolerance\n",
-			so.compare, n, 100*compareTolerance, 100*compareP95Tolerance)
+			so.compare, n, 100*compareTolerance, 100*so.p95Tol)
 	}
 }
 

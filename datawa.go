@@ -414,6 +414,12 @@ type DispatchConfig struct {
 	QueueSize int
 	// LatencyWindow sizes the epoch-latency percentile window (default 1024).
 	LatencyWindow int
+	// DisableIncremental turns off incremental epoch replanning. By default
+	// each shard's planner reuses the plans of quiet pool regions across
+	// epochs (byte-identical to full replanning; see
+	// dispatch.Config.DisableIncremental); incremental requires a non-empty
+	// Config.Region and is unavailable under MethodFTA either way.
+	DisableIncremental bool
 }
 
 // NewDispatcher builds a live dispatch service running the chosen method:
@@ -427,19 +433,23 @@ func (f *Framework) NewDispatcher(m Method, dc DispatchConfig) (*Dispatcher, err
 		return nil, fmt.Errorf("datawa: %d shards require a non-empty Config.Region", dc.Shards)
 	}
 	cfg := dispatch.Config{
-		Shards:        dc.Shards,
-		HaloRadius:    dc.HaloRadius,
-		Step:          dc.Step,
-		Now:           dc.Now,
-		QueueSize:     dc.QueueSize,
-		LatencyWindow: dc.LatencyWindow,
-		Travel:        f.travel,
-		Parallelism:   f.cfg.Parallelism,
+		Shards:             dc.Shards,
+		HaloRadius:         dc.HaloRadius,
+		Step:               dc.Step,
+		Now:                dc.Now,
+		QueueSize:          dc.QueueSize,
+		LatencyWindow:      dc.LatencyWindow,
+		DisableIncremental: dc.DisableIncremental,
+		Travel:             f.travel,
+		Parallelism:        f.cfg.Parallelism,
 	}
 	if cfg.Step <= 0 {
 		cfg.Step = f.cfg.Step
 	}
-	if dc.Shards > 1 {
+	// The grid feeds shard ownership (Shards > 1) and the incremental
+	// replanner's dirty-cell partition (any shard count); a framework without
+	// a region can only run single-shard, full-replan dispatch.
+	if f.cfg.Region.Width() > 0 && f.cfg.Region.Height() > 0 {
 		cfg.Grid = f.grid()
 	}
 	opts := f.assignOptions()

@@ -227,12 +227,13 @@ func (s *Search) Plan(workers []*core.Worker, tasks []*core.Task, now float64) c
 			now:     now,
 			model:   s.Model,
 			collect: s.Collect,
+			ts:      newTaskSet(treeTasks[i]),
+			seqIdx:  make(map[int][][]int32),
 		}
-		avail := newTaskSet(treeTasks[i])
 		if s.Model != nil {
-			results[i].plan = run.searchTVF(root, avail, root.Workers)
+			results[i].plan = run.searchTVF(root, root.Workers)
 		} else {
-			_, results[i].plan = run.search(root, avail, root.Workers)
+			_, results[i].plan = run.search(root, root.Workers)
 		}
 		results[i].nodes = run.nodes
 		results[i].samples = run.samples
@@ -265,7 +266,12 @@ func (s *Search) Plan(workers []*core.Worker, tasks []*core.Task, now float64) c
 	return plan
 }
 
-// searchRun carries the state of one Plan invocation.
+// searchRun carries the state of one tree's search within one Plan
+// invocation: the tree-local task availability set and, per worker, the
+// candidate sequences translated to task-index lists so the per-node
+// usability filter is a dense array scan instead of a hash lookup per task —
+// the filter runs once per worker per search node and dominated epoch CPU in
+// hotspot regimes before the translation.
 type searchRun struct {
 	opts    Options
 	sep     *wds.Separation
@@ -274,22 +280,57 @@ type searchRun struct {
 	nodes   int
 	collect bool
 	samples []tvf.Sample
+	// ts is the tree's availability set; seqIdx caches, per worker id, each
+	// sequence of Q_w as indices into ts (built on first use).
+	ts     *taskSet
+	seqIdx map[int][][]int32
 }
 
-// candidates returns the usable subset of Q_w: precomputed sequences whose
-// tasks are all still available.
-func (r *searchRun) candidates(w *core.Worker, avail *taskSet) []core.Sequence {
-	var out []core.Sequence
-	for _, q := range r.sep.Sequences[w.ID] {
+// seqIndices returns w's candidate sequences as task-index lists into r.ts,
+// building and caching them on first use. A nil entry marks a sequence
+// containing a task outside the tree's universe (impossible by construction,
+// but kept unusable rather than misindexed).
+func (r *searchRun) seqIndices(w *core.Worker) [][]int32 {
+	idxs, ok := r.seqIdx[w.ID]
+	if !ok {
+		seqs := r.sep.Sequences[w.ID]
+		idxs = make([][]int32, len(seqs))
+		for k, q := range seqs {
+			l := make([]int32, len(q))
+			for j, s := range q {
+				i, in := r.ts.byID[s.ID]
+				if !in {
+					l = nil
+					break
+				}
+				l[j] = i
+			}
+			idxs[k] = l
+		}
+		r.seqIdx[w.ID] = idxs
+	}
+	return idxs
+}
+
+// candidates returns the usable subset of Q_w — the positions (into
+// r.sep.Sequences[w.ID]) of the precomputed sequences whose tasks are all
+// still available.
+func (r *searchRun) candidates(w *core.Worker) []int32 {
+	idxs := r.seqIndices(w)
+	var out []int32
+	for k, l := range idxs {
+		if l == nil {
+			continue
+		}
 		ok := true
-		for _, s := range q {
-			if !avail.has(s.ID) {
+		for _, i := range l {
+			if !r.ts.avail[i] {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			out = append(out, q)
+			out = append(out, int32(k))
 		}
 	}
 	return out
@@ -301,10 +342,10 @@ func (r *searchRun) candidates(w *core.Worker, avail *taskSet) []core.Sequence {
 // option, which preserves the optimum the paper's worker loop explores while
 // avoiding redundant permutations. When the node budget is exhausted the
 // subtree completes greedily.
-func (r *searchRun) search(n *wds.TreeNode, avail *taskSet, workers []*core.Worker) (float64, core.Plan) {
+func (r *searchRun) search(n *wds.TreeNode, workers []*core.Worker) (float64, core.Plan) {
 	r.nodes++
 	if r.nodes > r.opts.MaxNodes {
-		return r.greedyComplete(n, avail, workers)
+		return r.greedyComplete(n, workers)
 	}
 	if len(workers) == 0 {
 		// Line 15–16: recurse into each child; sibling subtrees are
@@ -312,15 +353,15 @@ func (r *searchRun) search(n *wds.TreeNode, avail *taskSet, workers []*core.Work
 		total := 0.0
 		var plan core.Plan
 		for _, child := range n.Children {
-			v, sub := r.search(child, avail, child.Workers)
+			v, sub := r.search(child, child.Workers)
 			for _, a := range sub {
-				avail.removeSeq(a.Seq)
+				r.ts.removeSeq(a.Seq)
 			}
 			total += v
 			plan = append(plan, sub...)
 		}
 		for _, a := range plan {
-			avail.restoreSeq(a.Seq)
+			r.ts.restoreSeq(a.Seq)
 		}
 		return total, plan
 	}
@@ -329,16 +370,19 @@ func (r *searchRun) search(n *wds.TreeNode, avail *taskSet, workers []*core.Work
 	rest := workers[1:]
 
 	// Skip branch: w gets nothing.
-	bestVal, bestPlan := r.search(n, avail, rest)
+	bestVal, bestPlan := r.search(n, rest)
 
 	var st tvf.State
 	if r.collect {
-		st = r.stateFor(n, avail, workers)
+		st = r.stateFor(n, workers)
 	}
-	for _, q := range r.candidates(w, avail) {
-		avail.removeSeq(q)
-		v, sub := r.search(n, avail, rest)
-		avail.restoreSeq(q)
+	seqs := r.sep.Sequences[w.ID]
+	idxs := r.seqIndices(w)
+	for _, k := range r.candidates(w) {
+		q := seqs[k]
+		r.ts.removeIdx(idxs[k])
+		v, sub := r.search(n, rest)
+		r.ts.restoreIdx(idxs[k])
 		total := v + seqValue(q, r.opts.VirtualWeight)
 		if total > bestVal {
 			bestVal = total
@@ -355,32 +399,32 @@ func (r *searchRun) search(n *wds.TreeNode, avail *taskSet, workers []*core.Work
 
 // greedyComplete finishes a subtree without branching once the exact budget
 // is spent: each worker takes its best immediate sequence.
-func (r *searchRun) greedyComplete(n *wds.TreeNode, avail *taskSet, workers []*core.Worker) (float64, core.Plan) {
+func (r *searchRun) greedyComplete(n *wds.TreeNode, workers []*core.Worker) (float64, core.Plan) {
 	total := 0.0
 	var plan core.Plan
 	var removed []core.Sequence
 	for _, w := range workers {
-		cands := r.candidates(w, avail)
+		cands := r.candidates(w)
 		if len(cands) == 0 {
 			continue
 		}
-		q := cands[0]
-		avail.removeSeq(q)
+		q := r.sep.Sequences[w.ID][cands[0]]
+		r.ts.removeSeq(q)
 		removed = append(removed, q)
 		total += seqValue(q, r.opts.VirtualWeight)
 		plan = append(plan, core.Assignment{Worker: w, Seq: q})
 	}
 	for _, child := range n.Children {
-		v, sub := r.greedyComplete(child, avail, child.Workers)
+		v, sub := r.greedyComplete(child, child.Workers)
 		total += v
 		plan = append(plan, sub...)
 		for _, a := range sub {
-			avail.removeSeq(a.Seq)
+			r.ts.removeSeq(a.Seq)
 			removed = append(removed, a.Seq)
 		}
 	}
 	for _, q := range removed {
-		avail.restoreSeq(q)
+		r.ts.restoreSeq(q)
 	}
 	return total, plan
 }
@@ -389,14 +433,19 @@ func (r *searchRun) greedyComplete(n *wds.TreeNode, avail *taskSet, workers []*c
 // Q_w whose predicted long-term value is highest (line 8:
 // q_best ← argmax_{q∈Q_W} TVF(s_t, (w,q))) and never backtracks. A worker
 // with no usable sequence is skipped.
-func (r *searchRun) searchTVF(n *wds.TreeNode, avail *taskSet, workers []*core.Worker) core.Plan {
+func (r *searchRun) searchTVF(n *wds.TreeNode, workers []*core.Worker) core.Plan {
 	r.nodes++
 	var plan core.Plan
 	if len(workers) > 0 {
 		w := workers[0]
-		cands := r.candidates(w, avail)
-		if len(cands) > 0 {
-			st := r.stateFor(n, avail, workers)
+		ks := r.candidates(w)
+		if len(ks) > 0 {
+			seqs := r.sep.Sequences[w.ID]
+			cands := make([]core.Sequence, len(ks))
+			for i, k := range ks {
+				cands[i] = seqs[k]
+			}
+			st := r.stateFor(n, workers)
 			feats := make([][tvf.FeatureDim]float64, 0, len(cands))
 			for _, q := range cands {
 				feats = append(feats, tvf.Featurize(st, tvf.Action{Worker: w, Seq: q}, r.opts.WDS.Travel))
@@ -421,25 +470,25 @@ func (r *searchRun) searchTVF(n *wds.TreeNode, avail *taskSet, workers []*core.W
 				}
 			}
 			q := cands[bestIdx]
-			avail.removeSeq(q)
+			r.ts.removeSeq(q)
 			plan = append(plan, core.Assignment{Worker: w, Seq: q})
 		}
-		plan = append(plan, r.searchTVF(n, avail, workers[1:])...)
+		plan = append(plan, r.searchTVF(n, workers[1:])...)
 		return plan
 	}
 	for _, child := range n.Children {
-		plan = append(plan, r.searchTVF(child, avail, child.Workers)...)
+		plan = append(plan, r.searchTVF(child, child.Workers)...)
 	}
 	return plan
 }
 
 // stateFor materializes the RL state (W_N + W_C, S) at a search position.
-func (r *searchRun) stateFor(n *wds.TreeNode, avail *taskSet, workers []*core.Worker) tvf.State {
+func (r *searchRun) stateFor(n *wds.TreeNode, workers []*core.Worker) tvf.State {
 	all := append([]*core.Worker(nil), workers...)
 	for _, child := range n.Children {
 		all = append(all, child.AllWorkers()...)
 	}
-	return tvf.State{Workers: all, Tasks: avail.slice(), Now: r.now}
+	return tvf.State{Workers: all, Tasks: r.ts.slice(), Now: r.now}
 }
 
 // ---------------------------------------------------------------------------
@@ -447,42 +496,72 @@ func (r *searchRun) stateFor(n *wds.TreeNode, avail *taskSet, workers []*core.Wo
 // ---------------------------------------------------------------------------
 
 // taskSet tracks available tasks with O(1) removal and restoration and a
-// deterministic slice view.
+// deterministic slice view. Membership is a dense bool array over the
+// deduped insertion order — the per-node candidate filter of the search
+// reads it millions of times per planning instant on hotspot workloads, so
+// availability checks must not hash. The id→index map is built once and
+// never mutated, letting sequences be pre-translated to index lists
+// (searchRun.seqIndices) that skip the map entirely.
 type taskSet struct {
-	byID  map[int]*core.Task
-	order []*core.Task // insertion order; removed entries stay but are skipped
+	byID  map[int]int32 // id → index into order; never mutated after build
+	order []*core.Task  // deduped insertion order
+	avail []bool        // availability by index
 	dirty bool
 	cache []*core.Task
 }
 
 func newTaskSet(tasks []*core.Task) *taskSet {
-	ts := &taskSet{byID: make(map[int]*core.Task, len(tasks))}
+	ts := &taskSet{byID: make(map[int]int32, len(tasks))}
 	for _, t := range tasks {
 		if _, dup := ts.byID[t.ID]; dup {
 			continue
 		}
-		ts.byID[t.ID] = t
+		ts.byID[t.ID] = int32(len(ts.order))
 		ts.order = append(ts.order, t)
+	}
+	ts.avail = make([]bool, len(ts.order))
+	for i := range ts.avail {
+		ts.avail[i] = true
 	}
 	ts.dirty = true
 	return ts
 }
 
 func (ts *taskSet) has(id int) bool {
-	_, ok := ts.byID[id]
-	return ok
+	i, ok := ts.byID[id]
+	return ok && ts.avail[i]
 }
 
 func (ts *taskSet) removeSeq(q core.Sequence) {
 	for _, s := range q {
-		delete(ts.byID, s.ID)
+		if i, ok := ts.byID[s.ID]; ok {
+			ts.avail[i] = false
+		}
 	}
 	ts.dirty = true
 }
 
 func (ts *taskSet) restoreSeq(q core.Sequence) {
 	for _, s := range q {
-		ts.byID[s.ID] = s
+		if i, ok := ts.byID[s.ID]; ok {
+			ts.avail[i] = true
+		}
+	}
+	ts.dirty = true
+}
+
+// removeIdx and restoreIdx are the pre-translated (index list) forms of
+// removeSeq/restoreSeq used by the search's candidate loop.
+func (ts *taskSet) removeIdx(idxs []int32) {
+	for _, i := range idxs {
+		ts.avail[i] = false
+	}
+	ts.dirty = true
+}
+
+func (ts *taskSet) restoreIdx(idxs []int32) {
+	for _, i := range idxs {
+		ts.avail[i] = true
 	}
 	ts.dirty = true
 }
@@ -493,8 +572,8 @@ func (ts *taskSet) slice() []*core.Task {
 		return ts.cache
 	}
 	out := ts.cache[:0]
-	for _, t := range ts.order {
-		if _, ok := ts.byID[t.ID]; ok {
+	for i, t := range ts.order {
+		if ts.avail[i] {
 			out = append(out, t)
 		}
 	}

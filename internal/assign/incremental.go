@@ -1,0 +1,309 @@
+package assign
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/spatial"
+)
+
+// DirtyPlanner is the incremental-replanning contract between a driver that
+// tracks pool changes (stream.Machine with MachineConfig.DirtyGrid) and a
+// planner that can reuse work across planning instants (Incremental).
+// PlanDirty receives the set of grid cells touched since the previous
+// invocation and must return exactly the plan a from-scratch Plan call would
+// — incrementality changes the cost of the call, never its answer.
+type DirtyPlanner interface {
+	Planner
+	PlanDirty(workers []*core.Worker, tasks []*core.Task, now float64, dirty map[int]struct{}) core.Plan
+}
+
+// WorkerCells returns the grid cells a worker positioned at p with the given
+// reach radius can influence: every cell overlapped by the reachability disk
+// around p clamped to the grid's region. Clamping mirrors task-cell routing
+// (Grid.CellOf snaps off-map points to boundary cells) and is sound because
+// coordinate clamping is a contraction — any task within reach of p has its
+// clamped cell inside the clamped disk. The dirty-marking side
+// (stream.Machine) and the partition side (Incremental) both use this
+// function, so an invalidation always covers the membership it must refresh.
+func WorkerCells(g geo.Grid, p geo.Point, reach float64) []int {
+	cells := spatial.CellsInDisk(g, g.Region.Clamp(p), reach)
+	if len(cells) == 0 {
+		// Negative or NaN reach: fall back to the worker's own cell.
+		return []int{g.CellOf(p)}
+	}
+	return cells
+}
+
+// IncrementalStats counts an Incremental planner's reuse behavior. Counters
+// are cumulative over the planner's lifetime.
+type IncrementalStats struct {
+	// Plans is the number of planning instants served; FullPlans the subset
+	// planned from scratch (cold cache, no reusable component, or dirty
+	// fraction past the threshold).
+	Plans     int64
+	FullPlans int64
+	// ComponentsReplanned counts components handed to the wrapped planner;
+	// ComponentsReused counts cached quiet components spliced instead of
+	// replanned — the "incremental hits" of the dispatch metrics.
+	ComponentsReplanned int64
+	ComponentsReused    int64
+	// WorkersSkipped and TasksSkipped count pool entries the wrapped planner
+	// never saw thanks to reuse.
+	WorkersSkipped int64
+	TasksSkipped   int64
+}
+
+// Incremental wraps a Planner with dirty-region replanning. It partitions
+// each planning instant's pool into connected components over the
+// cell-granular reachability graph — workers own the cells of their reach
+// disk (WorkerCells), tasks their own cell, and overlapping cell sets merge
+// — re-plans only the components invalidated since the previous instant, and
+// splices the cached outcome of the rest.
+//
+// Why this is byte-identical to full replanning, not an approximation: under
+// adaptive (non-FTA) semantics a component whose plan assigns anything
+// mutates machine state immediately — commits remove tasks and set workers
+// in motion — so its cells are dirtied and it is replanned anyway. The only
+// cacheable outcome is the empty plan, and an empty component plan proves no
+// member worker had any valid candidate sequence (any usable sequence has
+// positive objective value, so both the exact search and the greedy paths
+// would have taken one). Validity of a sequence over a fixed pool only
+// shrinks as the clock advances, and cell-disjoint components cannot
+// exchange tasks, so a quiet empty component stays empty until an
+// invalidation touches its cells — and removing whole components from the
+// wrapped planner's input removes whole RTC trees without perturbing the
+// per-tree search budgets of the rest. The scenario-atlas equivalence tests
+// (internal/dispatch) pin the identity across archetypes, methods, and shard
+// counts.
+//
+// An Incremental is single-goroutine, like the Machine that drives it.
+type Incremental struct {
+	full Planner
+	grid geo.Grid
+
+	// MaxDirtyFraction is the fraction of the worker pool above which an
+	// instant is replanned from scratch instead of incrementally (cache
+	// bookkeeping is pure overhead when almost everything is dirty).
+	// Non-positive selects the default 0.9.
+	MaxDirtyFraction float64
+
+	comps []*planComponent // cached partition; nil = cold
+	stats IncrementalStats
+
+	// Union-find scratch over grid cells, reused across instants.
+	parent []int32
+	gen    []int32
+	curGen int32
+}
+
+// NewIncremental wraps full with dirty-region replanning over the given
+// grid. A degenerate grid (zero cells) yields a wrapper that plans from
+// scratch on every instant — callers need not special-case it.
+func NewIncremental(full Planner, grid geo.Grid) *Incremental {
+	return &Incremental{full: full, grid: grid}
+}
+
+// Name implements Planner.
+func (inc *Incremental) Name() string { return "Incremental(" + inc.full.Name() + ")" }
+
+// SetParallelism forwards the planner fan-out knob to the wrapped planner
+// when it supports one (assign.Search).
+func (inc *Incremental) SetParallelism(p int) {
+	if sp, ok := inc.full.(interface{ SetParallelism(int) }); ok {
+		sp.SetParallelism(p)
+	}
+}
+
+// Stats returns the cumulative reuse counters.
+func (inc *Incremental) Stats() IncrementalStats { return inc.stats }
+
+// Plan implements Planner: a from-scratch plan that also rebuilds the
+// component cache, used when the driver has no dirty information.
+func (inc *Incremental) Plan(workers []*core.Worker, tasks []*core.Task, now float64) core.Plan {
+	inc.stats.Plans++
+	return inc.fullPlan(workers, tasks, now)
+}
+
+// PlanDirty implements DirtyPlanner. dirty is the set of grid cells touched
+// since the previous invocation; the caller retains ownership and may clear
+// it after the call.
+func (inc *Incremental) PlanDirty(workers []*core.Worker, tasks []*core.Task, now float64, dirty map[int]struct{}) core.Plan {
+	inc.stats.Plans++
+	if inc.comps == nil || inc.grid.Cells() <= 0 || len(workers) == 0 {
+		return inc.fullPlan(workers, tasks, now)
+	}
+
+	// A cached component is reusable when it assigned nothing last instant
+	// and no invalidation touched its cells since.
+	var retained []*planComponent
+	var skipW, skipT map[int]bool
+	for _, c := range inc.comps {
+		if c.empty && !c.touched(dirty) {
+			if skipW == nil {
+				skipW = make(map[int]bool)
+				skipT = make(map[int]bool)
+			}
+			retained = append(retained, c)
+			for _, id := range c.workers {
+				skipW[id] = true
+			}
+			for _, id := range c.tasks {
+				skipT[id] = true
+			}
+		}
+	}
+	if len(retained) == 0 {
+		return inc.fullPlan(workers, tasks, now)
+	}
+
+	rw := make([]*core.Worker, 0, len(workers))
+	for _, w := range workers {
+		if !skipW[w.ID] {
+			rw = append(rw, w)
+		}
+	}
+	frac := inc.MaxDirtyFraction
+	if frac <= 0 {
+		frac = 0.9
+	}
+	// Past the threshold everything is replanned from scratch — the
+	// retained components are NOT spliced, so they don't count as hits.
+	if float64(len(rw)) > frac*float64(len(workers)) {
+		return inc.fullPlan(workers, tasks, now)
+	}
+	rt := make([]*core.Task, 0, len(tasks))
+	for _, s := range tasks {
+		if !skipT[s.ID] {
+			rt = append(rt, s)
+		}
+	}
+
+	plan := inc.full.Plan(rw, rt, now)
+	fresh := inc.partition(rw, rt, plan)
+	inc.stats.ComponentsReplanned += int64(len(fresh))
+	inc.stats.ComponentsReused += int64(len(retained))
+	inc.stats.WorkersSkipped += int64(len(workers) - len(rw))
+	inc.stats.TasksSkipped += int64(len(tasks) - len(rt))
+	inc.comps = append(fresh, retained...)
+	return plan
+}
+
+// fullPlan plans the whole pool from scratch and rebuilds the cache.
+func (inc *Incremental) fullPlan(workers []*core.Worker, tasks []*core.Task, now float64) core.Plan {
+	inc.stats.FullPlans++
+	plan := inc.full.Plan(workers, tasks, now)
+	if inc.grid.Cells() > 0 {
+		inc.comps = inc.partition(workers, tasks, plan)
+		inc.stats.ComponentsReplanned += int64(len(inc.comps))
+	}
+	return plan
+}
+
+// planComponent is one cached connected component of the cell-granular
+// reachability graph: its covered cells, its member ids, and whether its
+// last plan assigned anything.
+type planComponent struct {
+	cells   []int // sorted, deduped
+	workers []int // member worker ids
+	tasks   []int // member task ids (virtuals carry their negative ids)
+	empty   bool  // last plan assigned nothing to these workers
+}
+
+// touched reports whether any of the component's cells is in the dirty set.
+func (c *planComponent) touched(dirty map[int]struct{}) bool {
+	for _, cell := range c.cells {
+		if _, ok := dirty[cell]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// partition groups the pool into connected components: each worker's reach
+// disk claims its cells, each task its own cell, and cell overlap merges.
+// The component list is ordered by first appearance in the (deterministic)
+// pool order.
+func (inc *Incremental) partition(workers []*core.Worker, tasks []*core.Task, plan core.Plan) []*planComponent {
+	cells := inc.grid.Cells()
+	if cap(inc.parent) < cells {
+		inc.parent = make([]int32, cells)
+		inc.gen = make([]int32, cells)
+		inc.curGen = 0
+	}
+	inc.curGen++
+	find := func(c int32) int32 {
+		if inc.gen[c] != inc.curGen {
+			inc.gen[c] = inc.curGen
+			inc.parent[c] = c
+			return c
+		}
+		for inc.parent[c] != c {
+			inc.parent[c] = inc.parent[inc.parent[c]] // path halving
+			c = inc.parent[c]
+		}
+		return c
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			inc.parent[rb] = ra
+		}
+	}
+
+	wcells := make([][]int, len(workers))
+	for i, w := range workers {
+		cs := WorkerCells(inc.grid, w.Loc, w.Reach)
+		wcells[i] = cs
+		for _, c := range cs[1:] {
+			union(int32(cs[0]), int32(c))
+		}
+	}
+	tcells := make([]int, len(tasks))
+	for j, s := range tasks {
+		tcells[j] = inc.grid.CellOf(s.Loc)
+		find(int32(tcells[j])) // touch, so lone task cells root themselves
+	}
+
+	assigned := make(map[int]bool, len(plan))
+	for _, a := range plan {
+		assigned[a.Worker.ID] = true
+	}
+
+	byRoot := make(map[int32]int)
+	var comps []*planComponent
+	compOf := func(root int32) *planComponent {
+		i, ok := byRoot[root]
+		if !ok {
+			i = len(comps)
+			byRoot[root] = i
+			comps = append(comps, &planComponent{empty: true})
+		}
+		return comps[i]
+	}
+	for i, w := range workers {
+		c := compOf(find(int32(wcells[i][0])))
+		c.workers = append(c.workers, w.ID)
+		c.cells = append(c.cells, wcells[i]...)
+		if assigned[w.ID] {
+			c.empty = false
+		}
+	}
+	for j, s := range tasks {
+		c := compOf(find(int32(tcells[j])))
+		c.tasks = append(c.tasks, s.ID)
+		c.cells = append(c.cells, tcells[j])
+	}
+	for _, c := range comps {
+		sort.Ints(c.cells)
+		dedup := c.cells[:0]
+		for i, cell := range c.cells {
+			if i == 0 || cell != dedup[len(dedup)-1] {
+				dedup = append(dedup, cell)
+			}
+		}
+		c.cells = dedup
+	}
+	return comps
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro"
@@ -29,14 +30,18 @@ import (
 )
 
 // Schema identifies the Report wire format. Bump the suffix on any
-// incompatible change and teach Validate both versions for one release.
-// Version 2 added the per-cell fidelity_gap field and the top-level
-// halo_radius_km echo.
-const Schema = "datawa-bench-suite/2"
+// incompatible change and teach Validate the older versions so committed
+// snapshots keep working as -compare baselines. Version 2 added the per-cell
+// fidelity_gap field and the top-level halo_radius_km echo; version 3 added
+// the live path's incremental-replanning reuse counters (incremental_hits,
+// components_replanned) and the top-level incremental echo.
+const Schema = "datawa-bench-suite/3"
 
-// legacySchema is the previous wire format, still accepted by Validate for
-// one release so committed snapshots keep working as -compare baselines.
-const legacySchema = "datawa-bench-suite/1"
+// legacySchemas are older wire formats Validate still accepts.
+var legacySchemas = []string{"datawa-bench-suite/2", "datawa-bench-suite/1"}
+
+// schemaV1 is the oldest format, which predates the fidelity_gap field.
+const schemaV1 = "datawa-bench-suite/1"
 
 // p95GateFloorNS clamps the baseline of Compare's latency gate from below:
 // growth is measured relative to max(baseline, 10 ms). Epoch latencies are
@@ -68,6 +73,11 @@ type Options struct {
 	// (0 = auto from worker reach, negative = disable ghost replication);
 	// see dispatch.Config.HaloRadius.
 	HaloRadius float64
+	// DisableIncremental turns off the live path's incremental epoch
+	// replanning (dispatch.Config.DisableIncremental). Assignment outcomes
+	// are identical either way; only epoch cost and the reuse counters
+	// change.
+	DisableIncremental bool
 	// Parallelism bounds planner fan-out (0 = one goroutine per CPU).
 	Parallelism int
 	// MaxNodes caps exact-search effort per planning call (default 4000).
@@ -110,13 +120,17 @@ type Report struct {
 	GoVersion string `json:"go_version"`
 	OS        string `json:"os"`
 	Arch      string `json:"arch"`
-	// Scales, Methods, Step, Shards, HaloRadius and Parallelism echo the
-	// options that produced the report.
+	// Scenarios, Scales, Methods, Step, Shards, HaloRadius, Incremental and
+	// Parallelism echo the options that produced the report. Scenarios
+	// arrived with schema v3; Compare falls back to the result set's
+	// scenario names for older reports.
+	Scenarios   []string  `json:"scenarios,omitempty"`
 	Scales      []float64 `json:"scales"`
 	Methods     []string  `json:"methods"`
 	Step        float64   `json:"step_seconds"`
 	Shards      int       `json:"shards"`
 	HaloRadius  float64   `json:"halo_radius_km"`
+	Incremental bool      `json:"incremental"`
 	Parallelism int       `json:"parallelism"`
 	// Results holds one cell per scenario × scale × method, in scenario
 	// name order.
@@ -173,6 +187,11 @@ type Path struct {
 	EpochP50NS int64 `json:"epoch_p50_ns,omitempty"`
 	EpochP95NS int64 `json:"epoch_p95_ns,omitempty"`
 	EpochP99NS int64 `json:"epoch_p99_ns,omitempty"`
+	// IncrementalHits and ComponentsReplanned are the live path's
+	// incremental-replanning reuse counters (dispatch.Metrics); live-path
+	// only, zero when incremental replanning is disabled.
+	IncrementalHits     int64 `json:"incremental_hits,omitempty"`
+	ComponentsReplanned int64 `json:"components_replanned,omitempty"`
 }
 
 // Run executes the suite and returns a validated report.
@@ -183,11 +202,13 @@ func Run(opts Options) (*Report, error) {
 		GoVersion:   runtime.Version(),
 		OS:          runtime.GOOS,
 		Arch:        runtime.GOARCH,
+		Scenarios:   opts.Scenarios,
 		Scales:      opts.Scales,
 		Methods:     opts.Methods,
 		Step:        opts.Step,
 		Shards:      opts.Shards,
 		HaloRadius:  opts.HaloRadius,
+		Incremental: !opts.DisableIncremental,
 		Parallelism: opts.Parallelism,
 	}
 	for _, name := range opts.Scenarios {
@@ -285,6 +306,7 @@ func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.M
 	}
 	d, err := fw.NewDispatcher(m, datawa.DispatchConfig{
 		Shards: opts.Shards, HaloRadius: opts.HaloRadius, Step: opts.Step, Now: sc.T0,
+		DisableIncremental: opts.DisableIncremental,
 	})
 	if err != nil {
 		return Cell{}, err
@@ -313,6 +335,9 @@ func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.M
 		EpochP50NS:     met.EpochP50.Nanoseconds(),
 		EpochP95NS:     met.EpochP95.Nanoseconds(),
 		EpochP99NS:     met.EpochP99.Nanoseconds(),
+
+		IncrementalHits:     met.IncrementalHits,
+		ComponentsReplanned: met.ComponentsReplanned,
 	}
 	cell.FidelityGap = cell.Offline.AssignmentRate - cell.Live.AssignmentRate
 	return cell, nil
@@ -339,8 +364,15 @@ func (r *Report) Validate() error {
 	if r == nil {
 		return fmt.Errorf("nil report")
 	}
-	if r.Schema != Schema && r.Schema != legacySchema {
-		return fmt.Errorf("schema %q, want %q (or legacy %q)", r.Schema, Schema, legacySchema)
+	legacy := false
+	for _, s := range legacySchemas {
+		if r.Schema == s {
+			legacy = true
+			break
+		}
+	}
+	if r.Schema != Schema && !legacy {
+		return fmt.Errorf("schema %q, want %q (or legacy %v)", r.Schema, Schema, legacySchemas)
 	}
 	if len(r.Results) == 0 {
 		return fmt.Errorf("report has no results")
@@ -356,9 +388,9 @@ func (r *Report) Validate() error {
 		if c.Workers <= 0 || c.Tasks <= 0 {
 			return fmt.Errorf("%s: empty population", where)
 		}
-		// fidelity_gap arrived with schema version 2; legacy reports carry
-		// the zero value, which would fail the consistency check.
-		if r.Schema != legacySchema {
+		// fidelity_gap arrived with schema version 2; v1 reports carry the
+		// zero value, which would fail the consistency check.
+		if r.Schema != schemaV1 {
 			if gap := c.Offline.AssignmentRate - c.Live.AssignmentRate; math.Abs(gap-c.FidelityGap) > 1e-9 {
 				return fmt.Errorf("%s: fidelity_gap %v inconsistent with offline−live rates (%v)", where, c.FidelityGap, gap)
 			}
@@ -406,6 +438,14 @@ func (r *Report) Validate() error {
 // gate on noise — but a lightweight cell regressing to hundreds of
 // milliseconds still fails. Wall-clock throughput and allocation figures
 // never gate. It returns the number of cells compared.
+//
+// Coverage is also gated: a baseline cell whose scenario, scale, and method
+// all lie inside the candidate's axes (the scenario set present in its
+// results, its echoed Scales and Methods) must appear in the candidate — a
+// cell silently vanishing from a rerun of the same configuration is a
+// regression, not a skip. Baseline cells outside the candidate's axes (a CI
+// run at 1x compared against a 1x+5x snapshot, a methods subset) are
+// legitimately absent and don't count.
 func Compare(base, cur *Report, maxRelDrop, maxRelP95 float64) (int, error) {
 	if err := base.Validate(); err != nil {
 		return 0, fmt.Errorf("baseline: %w", err)
@@ -417,6 +457,37 @@ func Compare(base, cur *Report, maxRelDrop, maxRelP95 float64) (int, error) {
 	baseBy := make(map[string]Cell, len(base.Results))
 	for _, c := range base.Results {
 		baseBy[key(c)] = c
+	}
+	curBy := make(map[string]bool, len(cur.Results))
+	curScenarios := make(map[string]bool)
+	for _, c := range cur.Results {
+		curBy[key(c)] = true
+		if len(cur.Scenarios) == 0 {
+			// Pre-v3 candidate without the scenario echo: infer the axis.
+			curScenarios[c.Scenario] = true
+		}
+	}
+	for _, name := range cur.Scenarios {
+		curScenarios[name] = true
+	}
+	curScales := make(map[float64]bool, len(cur.Scales))
+	for _, f := range cur.Scales {
+		curScales[f] = true
+	}
+	curMethods := make(map[string]bool, len(cur.Methods))
+	for _, m := range cur.Methods {
+		curMethods[m] = true
+	}
+	var missing []string
+	for _, b := range base.Results {
+		if curScenarios[b.Scenario] && curScales[b.Scale] && curMethods[b.Method] && !curBy[key(b)] {
+			missing = append(missing, key(b))
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return 0, fmt.Errorf("%d baseline cell(s) inside the new report's scenario/scale/method axes are missing from it: %v",
+			len(missing), missing)
 	}
 	compared := 0
 	var regressions []string

@@ -190,13 +190,50 @@ func TestValidateAcceptsLegacySchema(t *testing.T) {
 		t.Fatal(err)
 	}
 	legacy := *r
-	legacy.Schema = legacySchema
+	legacy.Schema = schemaV1
 	legacy.Results = append([]Cell(nil), r.Results...)
 	for i := range legacy.Results {
 		legacy.Results[i].FidelityGap = 0 // v1 reports never carried the field
 	}
 	if err := legacy.Validate(); err != nil {
-		t.Fatalf("legacy schema must validate: %v", err)
+		t.Fatalf("legacy v1 schema must validate: %v", err)
+	}
+	// v2 carried fidelity_gap and is held to its consistency check.
+	v2 := *r
+	v2.Schema = legacySchemas[0]
+	if err := v2.Validate(); err != nil {
+		t.Fatalf("legacy v2 schema must validate: %v", err)
+	}
+}
+
+// TestCompareFlagsMissingCells pins the coverage gate: a baseline cell
+// inside the candidate's scenario/scale/method axes must be present in the
+// candidate, while cells outside those axes (a 1x CI run against a 1x+5x
+// snapshot) stay legitimately skippable.
+func TestCompareFlagsMissingCells(t *testing.T) {
+	base, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same axes, one cell silently dropped: error.
+	cur := *base
+	cur.Results = append([]Cell(nil), base.Results[:1]...)
+	if _, err := Compare(base, &cur, 0.10, 0.50); err == nil {
+		t.Fatal("dropped in-axes cell must fail the compare")
+	} else if !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// A genuinely narrowed run: the dropped cell's scenario is absent from
+	// the candidate's results entirely, so it is outside the candidate's
+	// scenario axis and the compare passes on the remaining overlap.
+	opts := tinyOptions()
+	opts.Scenarios = opts.Scenarios[:1]
+	narrow, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := Compare(base, narrow, 0.10, 0.50); err != nil || n != 1 {
+		t.Fatalf("narrowed-axes compare: %d cells, err %v", n, err)
 	}
 }
 

@@ -1,0 +1,89 @@
+package benchsuite
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/dispatch"
+	"repro/internal/scenario"
+)
+
+// replayIncremental runs one archetype trace through a sharded dispatcher
+// with incremental replanning on or off and returns the final metrics.
+func replayIncremental(t *testing.T, sc *datawa.Scenario, m datawa.Method, shards int, disable bool) dispatch.Metrics {
+	t.Helper()
+	fw := datawa.New(datawa.Config{
+		Region:   sc.Config.Region,
+		GridRows: sc.Config.GridRows, GridCols: sc.Config.GridCols,
+		Step: 2, Seed: sc.Config.Seed, MaxSearchNodes: 4000,
+	})
+	d, err := fw.NewDispatcher(m, datawa.DispatchConfig{
+		Shards: shards, Step: 2, Now: sc.T0, DisableIncremental: disable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dispatch.LoadGen{Events: sc.Events(), T1: sc.T1}.Run(d).Metrics
+}
+
+// TestIncrementalMatchesFullAcrossAtlas pins the incremental replanner's
+// core contract: with dirty-region invalidation and component splicing the
+// dispatcher's assignment behavior is byte-identical to full replanning —
+// every terminal counter, per-shard stat, and cross-shard handoff counter
+// matches exactly on every scenario archetype × method × shard count. The
+// test also asserts reuse actually happens somewhere across the atlas (the
+// incremental path is exercised, not vacuously equal).
+func TestIncrementalMatchesFullAcrossAtlas(t *testing.T) {
+	var totalHits int64
+	for _, name := range scenario.Names() {
+		arch, ok := scenario.Get(name)
+		if !ok {
+			t.Fatalf("archetype %q vanished from the registry", name)
+		}
+		sc := arch.Generate(1)
+		for _, m := range []datawa.Method{datawa.MethodGreedy, datawa.MethodDTA} {
+			for _, shards := range []int{1, 2, 4} {
+				inc := replayIncremental(t, sc, m, shards, false)
+				full := replayIncremental(t, sc, m, shards, true)
+				if inc.IncrementalHits == 0 {
+					t.Errorf("%s %s shards=%d: incremental path never reused a component", name, m, shards)
+				}
+				if full.IncrementalHits != 0 || full.ComponentsReplanned != 0 {
+					t.Errorf("%s %s shards=%d: disabled run reports incremental counters %d/%d",
+						name, m, shards, full.IncrementalHits, full.ComponentsReplanned)
+				}
+				// Blank the fields that legitimately differ (reuse counters,
+				// wall-clock latencies) and require everything else equal.
+				normalize := func(mm dispatch.Metrics) dispatch.Metrics {
+					mm.IncrementalHits, mm.ComponentsReplanned = 0, 0
+					mm.EpochP50, mm.EpochP95, mm.EpochP99 = 0, 0, 0
+					mm.PlanTime = 0
+					for i := range mm.Shards {
+						mm.Shards[i].Stats.PlanTime = 0
+					}
+					return mm
+				}
+				a, b := normalize(inc), normalize(full)
+				if len(a.Shards) != len(b.Shards) {
+					t.Fatalf("%s %s shards=%d: shard count diverged", name, m, shards)
+				}
+				for i := range a.Shards {
+					if a.Shards[i] != b.Shards[i] {
+						t.Errorf("%s %s shards=%d: shard %d stats diverged\nincremental: %+v\nfull:        %+v",
+							name, m, shards, i, a.Shards[i], b.Shards[i])
+					}
+				}
+				a.Shards, b.Shards = nil, nil
+				if av, bv := fmt.Sprintf("%+v", a), fmt.Sprintf("%+v", b); av != bv {
+					t.Errorf("%s %s shards=%d: metrics diverged\nincremental: %s\nfull:        %s",
+						name, m, shards, av, bv)
+				}
+				totalHits += inc.IncrementalHits
+			}
+		}
+	}
+	if totalHits == 0 {
+		t.Fatal("atlas produced no incremental hits; the cache is never reused")
+	}
+}

@@ -102,8 +102,18 @@ type Config struct {
 	Shards int
 	// Grid partitions the region into cells; an explicit ownership map
 	// assigns each shard one contiguous row-major band of cells. Required
-	// when Shards > 1.
+	// when Shards > 1; with one shard it is optional but enables incremental
+	// replanning (see DisableIncremental).
 	Grid geo.Grid
+	// DisableIncremental turns off incremental epoch replanning. By default
+	// (false), when Grid is set and the method is adaptive (not Fixed), each
+	// shard's planner is wrapped in assign.Incremental and its machine tracks
+	// the per-epoch dirty cell set: quiet regions of the pool — connected
+	// components of the reachability graph untouched since their last (empty)
+	// plan — are spliced from cache instead of replanned. Plans are
+	// byte-identical either way; only epoch cost changes. Snapshot reports
+	// reuse through IncrementalHits and ComponentsReplanned.
+	DisableIncremental bool
 	// HaloRadius configures cross-shard task handoff, in kilometers: a task
 	// whose disk of this radius overlaps grid cells owned by other shards is
 	// replicated into those shards as a read-only ghost candidate, and
@@ -208,6 +218,12 @@ type Metrics struct {
 	// same epoch; Retractions counts the losing commits arbitration undid.
 	CommitConflicts int64 `json:"commit_conflicts"`
 	Retractions     int64 `json:"retractions"`
+	// IncrementalHits counts cached quiet components spliced instead of
+	// replanned across all shards and epochs; ComponentsReplanned counts the
+	// components that did go through a planner. Both zero when incremental
+	// replanning is disabled (Config.DisableIncremental, no Grid, or FTA).
+	IncrementalHits     int64 `json:"incremental_hits"`
+	ComponentsReplanned int64 `json:"components_replanned"`
 	// Assigned/Expired/Cancelled/Repositions aggregate all shards.
 	Assigned    int `json:"assigned"`
 	Expired     int `json:"expired"`
@@ -241,10 +257,13 @@ type Dispatcher struct {
 	pending eventHeap // drained from the queue, not yet due
 	seq     int64     // ingest-order tiebreak for pending
 	shards  []*stream.Machine
-	smap    *shardMap     // cell ownership; nil with one shard
-	owner   map[int]int   // worker id → shard
-	taskOf  map[int]int   // task id → owning shard
-	ghosts  map[int][]int // task id → shards holding a live replica
+	// inc holds each shard's incremental-planner wrapper for reuse metrics;
+	// nil when incremental replanning is off.
+	inc    []*assign.Incremental
+	smap   *shardMap     // cell ownership; nil with one shard
+	owner  map[int]int   // worker id → shard
+	taskOf map[int]int   // task id → owning shard
+	ghosts map[int][]int // task id → shards holding a live replica
 	// maxReach is the largest Reach among admitted workers — the automatic
 	// halo radius when Config.HaloRadius is 0. reGhost marks a pending
 	// re-replication pass after maxReach grew; it runs once per tick, since
@@ -306,14 +325,19 @@ func New(cfg Config) *Dispatcher {
 			perPlanner = 1
 		}
 	}
+	// Incremental replanning needs a grid for the dirty-cell partition and
+	// adaptive semantics (FTA's locked plans change the planner pool without
+	// pool events, so reuse would be unsound there).
+	incremental := !cfg.DisableIncremental && !cfg.Fixed && cfg.Grid.Cells() > 0
+	if incremental {
+		d.inc = make([]*assign.Incremental, cfg.Shards)
+	}
 	for i := range d.shards {
 		planner := cfg.NewPlanner(i)
 		if p, ok := planner.(interface{ SetParallelism(int) }); ok && perPlanner > 0 {
 			p.SetParallelism(perPlanner)
 		}
-		// Machines get no forecaster of their own: virtuals come from the
-		// dispatcher-level forecast, routed by cell ownership.
-		d.shards[i] = stream.NewMachine(stream.MachineConfig{
+		mc := stream.MachineConfig{
 			Planner:       planner,
 			Fixed:         cfg.Fixed,
 			Travel:        cfg.Travel,
@@ -321,7 +345,15 @@ func New(cfg Config) *Dispatcher {
 			// Commit logs feed cross-shard arbitration; with one shard or
 			// replication disabled nothing drains them, so leave them off.
 			TrackCommits: cfg.Shards > 1 && cfg.HaloRadius >= 0,
-		})
+		}
+		if incremental {
+			d.inc[i] = assign.NewIncremental(planner, cfg.Grid)
+			mc.Planner = d.inc[i]
+			mc.DirtyGrid = cfg.Grid
+		}
+		// Machines get no forecaster of their own: virtuals come from the
+		// dispatcher-level forecast, routed by cell ownership.
+		d.shards[i] = stream.NewMachine(mc)
 	}
 	d.lastForecast = math.Inf(-1)
 	d.nowBits.Store(math.Float64bits(cfg.Now))
@@ -794,6 +826,11 @@ func (d *Dispatcher) Snapshot() Metrics {
 		Retractions:     d.retractions,
 	}
 	m.EpochP50, m.EpochP95, m.EpochP99 = d.lat.percentiles()
+	for _, inc := range d.inc {
+		st := inc.Stats()
+		m.IncrementalHits += st.ComponentsReused
+		m.ComponentsReplanned += st.ComponentsReplanned
+	}
 	for i, sh := range d.shards {
 		st := sh.Stats()
 		m.Shards = append(m.Shards, ShardMetrics{

@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/geo"
 	"repro/internal/stream"
 )
 
@@ -179,4 +181,48 @@ func ExampleNewHandler() {
 	fmt.Println(resp.Status)
 	resp.Body.Close()
 	// Output: 200 OK
+}
+
+// TestHTTPMetricsCounterRoundTrip pins the metrics endpoint's wire names for
+// the handoff and incremental-replanning counters: a run that exercises
+// ghost replication, commit arbitration, and cache reuse must surface every
+// counter under its documented JSON key with the snapshot's exact value.
+func TestHTTPMetricsCounterRoundTrip(t *testing.T) {
+	d := New(incrementalConfig(false))
+	srv := httptest.NewServer(NewHandler(d))
+	defer srv.Close()
+
+	// The arbitration geometry of TestIncrementalSurvivesArbitrationRetraction:
+	// a contended boundary task plus a quiet region that caches.
+	d.SubmitTask(&core.Task{ID: 20, Loc: geo.Point{X: 3.5, Y: 0.5}, Pub: 0, Exp: 3000, Cell: -1})
+	d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 1, Y: 1.9}, Reach: 0.8, On: 0, Off: 4000})
+	d.WorkerOnline(&core.Worker{ID: 2, Loc: geo.Point{X: 1, Y: 2.2}, Reach: 0.8, On: 0, Off: 4000})
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 1, Y: 2.1}, Pub: 0, Exp: 600, Cell: -1})
+	d.Advance(30)
+
+	snap := d.Snapshot()
+	if snap.GhostCopies == 0 || snap.CommitConflicts == 0 || snap.Retractions == 0 || snap.IncrementalHits == 0 {
+		t.Fatalf("scenario under-exercises the counters: %+v", snap)
+	}
+
+	var wire map[string]any
+	getJSON(t, srv, "/v1/metrics", &wire)
+	for key, want := range map[string]int64{
+		"ghost_copies":         snap.GhostCopies,
+		"ghost_hits":           snap.GhostHits,
+		"routed_ghosts":        int64(snap.RoutedGhosts),
+		"commit_conflicts":     snap.CommitConflicts,
+		"retractions":          snap.Retractions,
+		"incremental_hits":     snap.IncrementalHits,
+		"components_replanned": snap.ComponentsReplanned,
+	} {
+		raw, ok := wire[key]
+		if !ok {
+			t.Errorf("metrics JSON lacks %q", key)
+			continue
+		}
+		if got := int64(raw.(float64)); got != want {
+			t.Errorf("metrics %q = %d, want %d", key, got, want)
+		}
+	}
 }

@@ -1,0 +1,124 @@
+package dispatch
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// incrementalConfig is the handoff geometry on a finer 8×8 grid (0.5 km
+// cells over [0,4)²), so quiet regions genuinely partition away from the
+// shard boundary instead of merging into two giant cells.
+func incrementalConfig(disable bool) Config {
+	cfg := handoffConfig(2, 0)
+	cfg.Grid = geo.NewGrid(geo.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}, 8, 8)
+	cfg.DisableIncremental = disable
+	return cfg
+}
+
+// normalizeMetrics blanks the fields that legitimately differ between an
+// incremental and a full-replan run: reuse counters and wall-clock figures.
+func normalizeMetrics(m Metrics) string {
+	m.IncrementalHits, m.ComponentsReplanned = 0, 0
+	m.EpochP50, m.EpochP95, m.EpochP99 = 0, 0, 0
+	m.PlanTime = 0
+	for i := range m.Shards {
+		m.Shards[i].Stats.PlanTime = 0
+	}
+	return fmt.Sprintf("%+v", m)
+}
+
+// TestIncrementalSurvivesArbitrationRetraction is the adversarial pin on the
+// cache-invalidation story: a cross-shard commit conflict retracts a loser
+// mid-epoch (the resumed plan can commit other tasks and the snapped-back
+// worker re-enters the pool), while an unreachable task sits in a quiet
+// cached component until a late worker onlines next to it. The incremental
+// run must match the full-replan run on every per-epoch snapshot — a
+// transiently stale splice would show up immediately, not just in the
+// terminal counters.
+func TestIncrementalSurvivesArbitrationRetraction(t *testing.T) {
+	script := func(disable bool) ([]string, Metrics) {
+		d := New(incrementalConfig(disable))
+		var snaps []string
+		step := func(n int) {
+			for i := 0; i < n; i++ {
+				d.Tick()
+				snaps = append(snaps, normalizeMetrics(d.Snapshot()))
+			}
+		}
+		// A task no worker can reach: its component caches as quiet/empty.
+		d.SubmitTask(&core.Task{ID: 20, Loc: geo.Point{X: 3.5, Y: 0.5}, Pub: 0, Exp: 3000, Cell: -1})
+		// The boundary conflict: both workers commit task 10 through the halo,
+		// arbitration retracts the farther one (worker 1), whose resumed plan
+		// falls through to the fallback task 11 deep in its own shard.
+		d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 1, Y: 1.9}, Reach: 0.8, On: 0, Off: 4000})
+		d.WorkerOnline(&core.Worker{ID: 2, Loc: geo.Point{X: 1, Y: 2.2}, Reach: 0.8, On: 0, Off: 4000})
+		d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 1, Y: 2.1}, Pub: 0, Exp: 600, Cell: -1})
+		d.SubmitTask(&core.Task{ID: 11, Loc: geo.Point{X: 1, Y: 1.3}, Pub: 0, Exp: 600, Cell: -1})
+		step(4)
+		// Wake the quiet component: a worker onlines within reach of task 20.
+		// Its admission must invalidate the cached component, or the splice
+		// would leave 20 unplanned while full replanning assigns it.
+		d.WorkerOnline(&core.Worker{ID: 3, Loc: geo.Point{X: 3.4, Y: 0.6}, Reach: 0.5, On: d.Now(), Off: 4000})
+		step(4)
+		// Heartbeat-move a worker across the map and cancel an open task:
+		// both must land in the dirty set.
+		d.Heartbeat(2, geo.Point{X: 2.0, Y: 3.5})
+		d.SubmitTask(&core.Task{ID: 30, Loc: geo.Point{X: 0.5, Y: 3.5}, Pub: d.Now(), Exp: d.Now() + 400, Cell: -1})
+		step(2)
+		d.CancelTask(30)
+		// Run long enough for motions to complete and idle workers to cycle
+		// through quiet (cache-served) planning instants.
+		step(30)
+		return snaps, d.Snapshot()
+	}
+
+	inc, incFinal := script(false)
+	full, fullFinal := script(true)
+	if len(inc) != len(full) {
+		t.Fatalf("snapshot counts differ: %d vs %d", len(inc), len(full))
+	}
+	for i := range inc {
+		if inc[i] != full[i] {
+			t.Fatalf("epoch %d diverged\nincremental: %s\nfull:        %s", i, inc[i], full[i])
+		}
+	}
+	// The scenario must actually exercise what it claims to: an arbitration
+	// retraction, cache reuse on the incremental side, and the formerly-quiet
+	// task served once its component is invalidated.
+	if incFinal.Retractions == 0 {
+		t.Fatal("scenario produced no retraction; the adversarial case is not exercised")
+	}
+	if incFinal.IncrementalHits == 0 {
+		t.Fatal("scenario produced no incremental reuse; the cache is not exercised")
+	}
+	if incFinal.Assigned != 3 || incFinal.Expired != 0 || incFinal.Cancelled != 1 {
+		t.Fatalf("assigned/expired/cancelled = %d/%d/%d, want 3/0/1 (tasks 10, 11, 20 served; 30 cancelled)",
+			incFinal.Assigned, incFinal.Expired, incFinal.Cancelled)
+	}
+	if fullFinal.IncrementalHits != 0 {
+		t.Fatalf("disabled run reports %d incremental hits", fullFinal.IncrementalHits)
+	}
+}
+
+// TestIncrementalDisabledForFTA pins the safety gate: fixed-plan semantics
+// change the planner pool without pool events (locked plans, reserved
+// tasks), so the incremental wrapper must not engage there.
+func TestIncrementalDisabledForFTA(t *testing.T) {
+	cfg := incrementalConfig(false)
+	cfg.Fixed = true
+	d := New(cfg)
+	d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 1, Y: 1}, Reach: 1, On: 0, Off: 4000})
+	d.SubmitTask(&core.Task{ID: 10, Loc: geo.Point{X: 1, Y: 1.2}, Pub: 0, Exp: 600, Cell: -1})
+	d.Advance(5)
+	m := d.Snapshot()
+	if m.Assigned != 1 {
+		t.Fatalf("assigned = %d, want 1", m.Assigned)
+	}
+	if m.IncrementalHits != 0 || m.ComponentsReplanned != 0 {
+		t.Fatalf("FTA run reports incremental counters %d/%d, want 0/0",
+			m.IncrementalHits, m.ComponentsReplanned)
+	}
+}
