@@ -7,11 +7,11 @@
 // perf-sensitive PRs regenerate and CI gates on (see docs/BENCHMARKS.md):
 //
 //	datawa-bench -suite -json
-//	datawa-bench -suite -scales 1,5,20 -methods Greedy,DTA -json=BENCH_5.json
-//	datawa-bench -suite -scales 1 -json=BENCH_ci.json -compare BENCH_5.json
+//	datawa-bench -suite -scales 1,5,20 -methods Greedy,DTA -json=BENCH_6.json
+//	datawa-bench -suite -scales 1 -json=BENCH_ci.json -compare BENCH_6.json
 //	datawa-bench -suite -scales 1 -shards 4 -max-gap 0.01 -json=-
 //	datawa-bench -suite -incremental=false -json=BENCH_full_replan.json
-//	datawa-bench -validate BENCH_5.json
+//	datawa-bench -validate BENCH_6.json
 //
 // Experiment mode (-run) regenerates the tables and figures of the paper's
 // evaluation (Section V) on the synthetic Yueche/DiDi workloads and prints
@@ -26,7 +26,7 @@
 // full (paper cardinalities; hours for the whole suite).
 //
 // -json writes one machine-readable document covering the whole run. It
-// takes an optional value: a bare -json picks the default path (BENCH_4.json
+// takes an optional value: a bare -json picks the default path (BENCH_6.json
 // in suite mode, stdout in experiment mode); -json=FILE and -json FILE both
 // write FILE; "-" writes to stdout and suppresses the text output.
 package main
@@ -49,7 +49,7 @@ import (
 // suiteJSONDefault is where -suite writes its report when -json gives no
 // explicit path. The number tracks the PR that last regenerated the
 // trajectory snapshot at the repo root.
-const suiteJSONDefault = "BENCH_5.json"
+const suiteJSONDefault = "BENCH_6.json"
 
 // compareTolerance is the relative assignment-rate drop -compare accepts
 // before failing (docs/BENCHMARKS.md: perf-sensitive PRs regenerate the
@@ -197,7 +197,15 @@ func runSuite(so suiteOptions) {
 	}
 	if so.maxGap >= 0 {
 		var over []string
+		checked := 0
 		for _, c := range report.Results {
+			// Chaos cells run the live path under admission control and
+			// planner degradation; a gap against the ungoverned offline
+			// reference is by design there, not a fidelity bug.
+			if c.Overload {
+				continue
+			}
+			checked++
 			if c.FidelityGap > so.maxGap {
 				over = append(over, fmt.Sprintf("%s %gx %s: gap %.1fpp", c.Scenario, c.Scale, c.Method, 100*c.FidelityGap))
 			}
@@ -205,7 +213,7 @@ func runSuite(so suiteOptions) {
 		if len(over) > 0 {
 			fatalf("fidelity gap above %.1fpp on %d cell(s): %s", 100*so.maxGap, len(over), strings.Join(over, "; "))
 		}
-		fmt.Fprintf(out, "fidelity: all %d cells within %.1fpp of the offline reference\n", len(report.Results), 100*so.maxGap)
+		fmt.Fprintf(out, "fidelity: all %d non-chaos cells within %.1fpp of the offline reference\n", checked, 100*so.maxGap)
 	}
 	if so.compare != "" {
 		base, err := loadReport(so.compare)

@@ -7,6 +7,7 @@
 //
 //	datawa-serve -addr :8080 -method DTA -shards 4
 //	datawa-serve -method DATA-WA -pretrain yueche -pretrain-scale 0.1
+//	datawa-serve -max-open-tasks 5000 -epoch-budget 0.05 -trace-depth 256 -pprof
 //
 // API (see internal/dispatch.Handler for the wire formats):
 //
@@ -16,8 +17,18 @@
 //	POST /v1/tasks              submit task       {id?, x, y, valid}
 //	POST /v1/tasks/cancel       cancel task       {id}
 //	GET  /v1/plan?worker=ID     current schedule
-//	GET  /v1/metrics            snapshot
+//	GET  /v1/metrics            snapshot (JSON)
+//	GET  /v1/trace?n=K          epoch trace ring (needs -trace-depth)
+//	GET  /metrics               Prometheus text exposition
 //	GET  /healthz               liveness
+//	GET  /debug/pprof/          profiling (needs -pprof)
+//
+// Overload resilience: -max-open-tasks / -max-submits / -defer-slack bound
+// the ingest (admission control sheds or defers by task deadline when the
+// pool saturates), and -epoch-budget arms the SLA governor that steps each
+// shard's planner down the degradation ladder (full method → Greedy →
+// reachability-only Match) whenever its windowed epoch-p95 wall time exceeds
+// the budget, promoting back hysteretically once load subsides.
 //
 // The logical clock advances one Step every Step/timescale wall seconds:
 // -timescale 60 replays a minute of scenario time per wall second.
@@ -28,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -59,6 +71,15 @@ func main() {
 		pretrain  = flag.String("pretrain", "", "train demand/value models on a synthetic scenario first: yueche | didi")
 		preScale  = flag.Float64("pretrain-scale", 0.1, "pretraining workload scale factor in (0,1]")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
+
+		maxOpen    = flag.Int("max-open-tasks", 0, "admission control: open-task pool cap; newcomers displace later-deadline tasks or are shed/deferred (0 = unbounded)")
+		maxSubmits = flag.Int("max-submits", 0, "admission control: task submits admitted per epoch; overflow is deferred one epoch (0 = unbounded)")
+		deferSlack = flag.Float64("defer-slack", 0, "admission control: minimum remaining validity in logical seconds for a displaced task to be requeued instead of shed (0 = 2x step)")
+		budget     = flag.Float64("epoch-budget", 0, "SLA governor: per-shard epoch wall-time budget in seconds; over-budget p95 demotes the shard's planner down the ladder (0 = governor off)")
+		govWindow  = flag.Int("governor-window", 0, "SLA governor: epochs in the p95 cost window (0 = default 16)")
+		govDwell   = flag.Int("governor-dwell", 0, "SLA governor: minimum epochs between two tier transitions of one shard (0 = default 8)")
+		traceDepth = flag.Int("trace-depth", 0, "epoch trace ring depth served at /v1/trace (0 = off)")
+		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -106,6 +127,13 @@ func main() {
 	d, err := fw.NewDispatcher(m, datawa.DispatchConfig{
 		Shards: *shards, HaloRadius: *halo, Step: *step, QueueSize: *queue,
 		DisableIncremental: !*increment,
+		Admission: datawa.AdmissionConfig{
+			MaxOpenTasks: *maxOpen, MaxSubmitsPerEpoch: *maxSubmits, DeferSlack: *deferSlack,
+		},
+		Governor: datawa.GovernorConfig{
+			Budget: *budget, Window: *govWindow, Dwell: *govDwell,
+		},
+		TraceDepth: *traceDepth,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -121,7 +149,18 @@ func main() {
 		}
 	}()
 
-	srv := &http.Server{Addr: *addr, Handler: dispatch.NewHandler(d)}
+	var handler http.Handler = dispatch.NewHandler(d)
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
@@ -137,8 +176,9 @@ func main() {
 	}
 
 	final := d.Snapshot()
-	fmt.Printf("final: epochs=%d assigned=%d expired=%d cancelled=%d p50=%v p99=%v\n",
-		final.Epochs, final.Assigned, final.Expired, final.Cancelled, final.EpochP50, final.EpochP99)
+	fmt.Printf("final: epochs=%d assigned=%d expired=%d cancelled=%d shed=%d deferred=%d tiers=%d/%d p50=%v p99=%v\n",
+		final.Epochs, final.Assigned, final.Expired, final.Cancelled, final.Shed, final.Deferred,
+		final.TierDemotions, final.TierPromotions, final.EpochP50, final.EpochP99)
 }
 
 func methodNames() []string {

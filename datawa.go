@@ -420,7 +420,25 @@ type DispatchConfig struct {
 	// dispatch.Config.DisableIncremental); incremental requires a non-empty
 	// Config.Region and is unavailable under MethodFTA either way.
 	DisableIncremental bool
+	// Admission bounds the ingest path (shed/defer by deadline when
+	// saturated); the zero value admits everything. See
+	// dispatch.AdmissionConfig.
+	Admission AdmissionConfig
+	// Governor enables SLA-aware planner degradation when Budget > 0: each
+	// shard steps down a method-specific ladder (full planner → Greedy →
+	// reachability-only Match) when its windowed p95 epoch cost exceeds
+	// the budget, recovering hysteretically. See dispatch.GovernorConfig.
+	Governor GovernorConfig
+	// TraceDepth retains the last N per-epoch trace records for the
+	// operability endpoints (0 = off).
+	TraceDepth int
 }
+
+// AdmissionConfig bounds the dispatcher's ingest path.
+type AdmissionConfig = dispatch.AdmissionConfig
+
+// GovernorConfig parameterizes the SLA epoch governor.
+type GovernorConfig = dispatch.GovernorConfig
 
 // NewDispatcher builds a live dispatch service running the chosen method:
 // the online counterpart of Run, fed by concurrent events instead of a
@@ -440,6 +458,9 @@ func (f *Framework) NewDispatcher(m Method, dc DispatchConfig) (*Dispatcher, err
 		QueueSize:          dc.QueueSize,
 		LatencyWindow:      dc.LatencyWindow,
 		DisableIncremental: dc.DisableIncremental,
+		Admission:          dc.Admission,
+		Governor:           dc.Governor,
+		TraceDepth:         dc.TraceDepth,
 		Travel:             f.travel,
 		Parallelism:        f.cfg.Parallelism,
 	}
@@ -478,6 +499,21 @@ func (f *Framework) NewDispatcher(m Method, dc DispatchConfig) (*Dispatcher, err
 		cfg.Forecast = f.forecaster()
 	default:
 		return nil, fmt.Errorf("datawa: unknown method %q", m)
+	}
+	// Under a governor the method's planner becomes the top tier of a
+	// degradation ladder: full planner → Greedy → reachability-only Match.
+	// Greedy's ladder skips itself (Greedy → Match).
+	if dc.Governor.Budget > 0 {
+		top := cfg.NewPlanner
+		if m == MethodGreedy {
+			cfg.NewLadder = func(shard int) []assign.Planner {
+				return []assign.Planner{top(shard), &assign.Match{Opts: opts}}
+			}
+		} else {
+			cfg.NewLadder = func(shard int) []assign.Planner {
+				return []assign.Planner{top(shard), &assign.Greedy{Opts: opts}, &assign.Match{Opts: opts}}
+			}
+		}
 	}
 	return dispatch.New(cfg), nil
 }

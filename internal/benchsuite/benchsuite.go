@@ -7,6 +7,14 @@
 // percentiles, assignment rate, and allocations, so successive PRs can
 // compare performance against the committed snapshot.
 //
+// Chaos archetypes (scenario.Archetype.Overload != nil) run their live path
+// under the archetype's admission-control and governor profile with the
+// deterministic work-unit cost function, then quiesce to a full drain; their
+// cells are marked overload and must satisfy exact task conservation
+// (assigned + expired + cancelled + shed == tasks), which Validate enforces
+// on every load and Run enforces at generation time. The offline/live
+// fidelity gate skips them — shedding makes the two paths diverge by design.
+//
 // Assignment outcomes (assigned/expired counts, and therefore
 // assignment_rate) are deterministic given the archetype seed, at every
 // parallelism level and on every machine; wall-clock and allocation figures
@@ -34,11 +42,15 @@ import (
 // snapshots keep working as -compare baselines. Version 2 added the per-cell
 // fidelity_gap field and the top-level halo_radius_km echo; version 3 added
 // the live path's incremental-replanning reuse counters (incremental_hits,
-// components_replanned) and the top-level incremental echo.
-const Schema = "datawa-bench-suite/3"
+// components_replanned) and the top-level incremental echo; version 4 added
+// the chaos archetypes (cells marked overload, run under admission control
+// and the SLA governor) and their live-path shed/deferred/cancelled and
+// planner-tier counters, plus the exact task-conservation check Validate
+// applies to overload cells.
+const Schema = "datawa-bench-suite/4"
 
 // legacySchemas are older wire formats Validate still accepts.
-var legacySchemas = []string{"datawa-bench-suite/2", "datawa-bench-suite/1"}
+var legacySchemas = []string{"datawa-bench-suite/3", "datawa-bench-suite/2", "datawa-bench-suite/1"}
 
 // schemaV1 is the oldest format, which predates the fidelity_gap field.
 const schemaV1 = "datawa-bench-suite/1"
@@ -158,8 +170,15 @@ type Cell struct {
 	// live path trails the engine-equivalent reference on this cell.
 	// Negative means the live path assigned more. With cross-shard halo
 	// handoff the gap stays within one percentage point; a larger value
-	// means boundary visibility or arbitration regressed.
+	// means boundary visibility or arbitration regressed. Overload cells are
+	// exempt from the fidelity gate: shedding makes the paths diverge by
+	// design.
 	FidelityGap float64 `json:"fidelity_gap"`
+	// Overload marks a chaos cell: the live path ran under the archetype's
+	// admission-control and governor profile (scenario.OverloadProfile) with
+	// the deterministic work-unit cost function, then quiesced to a full
+	// drain. Validate asserts exact task conservation on these cells.
+	Overload bool `json:"overload,omitempty"`
 }
 
 // Path is one execution path's measurement.
@@ -192,6 +211,22 @@ type Path struct {
 	// only, zero when incremental replanning is disabled.
 	IncrementalHits     int64 `json:"incremental_hits,omitempty"`
 	ComponentsReplanned int64 `json:"components_replanned,omitempty"`
+	// Cancelled, Shed and Deferred are the live path's remaining terminal
+	// and backpressure outcomes (dispatch.Metrics): on an overload cell
+	// assigned + expired + cancelled + shed == tasks exactly after the
+	// post-replay quiesce. Deferred counts per-epoch requeue events, so it
+	// can exceed the task count. Live-path only; zero without admission
+	// control.
+	Cancelled int   `json:"cancelled,omitempty"`
+	Shed      int64 `json:"shed,omitempty"`
+	Deferred  int64 `json:"deferred,omitempty"`
+	// TierDemotions/TierPromotions count governor ladder transitions over
+	// the run and WorstTier is the deepest ladder tier any shard reached
+	// (0 = the method's full planner). Live-path only; zero without a
+	// governor.
+	TierDemotions  int64 `json:"tier_demotions,omitempty"`
+	TierPromotions int64 `json:"tier_promotions,omitempty"`
+	WorstTier      int   `json:"worst_tier,omitempty"`
 }
 
 // Run executes the suite and returns a validated report.
@@ -224,12 +259,18 @@ func Run(opts Options) (*Report, error) {
 					return nil, fmt.Errorf("benchsuite: %s %gx %s: %w", name, f, method, err)
 				}
 				r.Results = append(r.Results, cell)
-				opts.Log("%-13s %4gx %-8s offline %5.1f%% %8.0f ev/s | live %5.1f%% %8.0f ev/s gap %+5.1fpp p95 %s",
+				chaos := ""
+				if cell.Overload {
+					chaos = fmt.Sprintf(" | shed %d deferred %d tier↓%d↑%d worst %d",
+						cell.Live.Shed, cell.Live.Deferred,
+						cell.Live.TierDemotions, cell.Live.TierPromotions, cell.Live.WorstTier)
+				}
+				opts.Log("%-13s %4gx %-8s offline %5.1f%% %8.0f ev/s | live %5.1f%% %8.0f ev/s gap %+5.1fpp p95 %s%s",
 					name, f, method,
 					100*cell.Offline.AssignmentRate, cell.Offline.EventsPerSec,
 					100*cell.Live.AssignmentRate, cell.Live.EventsPerSec,
 					100*cell.FidelityGap,
-					time.Duration(cell.Live.EpochP95NS).Round(time.Microsecond))
+					time.Duration(cell.Live.EpochP95NS).Round(time.Microsecond), chaos)
 			}
 		}
 	}
@@ -304,10 +345,15 @@ func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.M
 	if err != nil {
 		return Cell{}, err
 	}
-	d, err := fw.NewDispatcher(m, datawa.DispatchConfig{
+	dc := datawa.DispatchConfig{
 		Shards: opts.Shards, HaloRadius: opts.HaloRadius, Step: opts.Step, Now: sc.T0,
 		DisableIncremental: opts.DisableIncremental,
-	})
+	}
+	if arch.Overload != nil {
+		cell.Overload = true
+		applyOverload(&dc, arch.Overload)
+	}
+	d, err := fw.NewDispatcher(m, dc)
 	if err != nil {
 		return Cell{}, err
 	}
@@ -315,8 +361,23 @@ func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.M
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
 	lr := g.Run(d)
-	runtime.ReadMemStats(&m1)
 	met := lr.Metrics
+	if cell.Overload {
+		// Chaos gate: the dispatcher must reach a fully drained state with
+		// every shard back on the top planner tier, and the terminal counters
+		// must account for every submitted task exactly once.
+		if !d.Quiesce(quiesceEpochs) {
+			return Cell{}, fmt.Errorf("overload cell did not quiesce within %d epochs (snapshot: %+v)", quiesceEpochs, d.Snapshot())
+		}
+		met = d.Snapshot()
+		terminal := met.Assigned + met.Expired + met.Cancelled + int(met.Shed)
+		if terminal != len(sc.Tasks) || met.Unroutable != 0 {
+			return Cell{}, fmt.Errorf(
+				"task conservation violated: assigned %d + expired %d + cancelled %d + shed %d = %d, want %d submitted (unroutable %d)",
+				met.Assigned, met.Expired, met.Cancelled, met.Shed, terminal, len(sc.Tasks), met.Unroutable)
+		}
+	}
+	runtime.ReadMemStats(&m1)
 	avgPlan := int64(0)
 	if met.PlanCalls > 0 {
 		avgPlan = met.PlanTime.Nanoseconds() / int64(met.PlanCalls)
@@ -338,10 +399,41 @@ func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.M
 
 		IncrementalHits:     met.IncrementalHits,
 		ComponentsReplanned: met.ComponentsReplanned,
+
+		Cancelled:      met.Cancelled,
+		Shed:           met.Shed,
+		Deferred:       met.Deferred,
+		TierDemotions:  met.TierDemotions,
+		TierPromotions: met.TierPromotions,
+		WorstTier:      met.WorstTier,
 	}
 	cell.FidelityGap = cell.Offline.AssignmentRate - cell.Live.AssignmentRate
 	return cell, nil
 }
+
+// applyOverload maps a chaos archetype's overload profile onto a dispatch
+// configuration. The governor costs epochs in work units (workers × open
+// tasks at the planning instant) instead of wall time, so tier transitions —
+// and therefore the whole cell — replay byte-identically on every host.
+func applyOverload(dc *datawa.DispatchConfig, p *scenario.OverloadProfile) {
+	dc.Admission = datawa.AdmissionConfig{
+		MaxOpenTasks:       p.MaxOpenTasks,
+		MaxSubmitsPerEpoch: p.MaxSubmitsPerEpoch,
+		DeferSlack:         p.DeferSlack,
+	}
+	dc.Governor = datawa.GovernorConfig{
+		Budget: p.BudgetUnits, Window: p.Window, Dwell: p.Dwell,
+		Cost: func(_ int, _ time.Duration, workers, open int) float64 {
+			return float64(workers * open)
+		},
+	}
+}
+
+// quiesceEpochs bounds the post-replay drain of an overload cell. Deferred
+// tasks shed once their slack runs out (≤ TaskValid/Step epochs) and governor
+// recovery needs a few full windows of idle epochs, so real convergence is
+// tens of epochs; the bound only stops a broken build from spinning forever.
+const quiesceEpochs = 512
 
 func rate(assigned, tasks int) float64 {
 	if tasks == 0 {
@@ -418,6 +510,15 @@ func (r *Report) Validate() error {
 				}
 			}
 		}
+		// Overload cells quiesce to a full drain before measurement, so the
+		// conservation identity must hold exactly in the committed snapshot.
+		if c.Overload {
+			terminal := c.Live.Assigned + c.Live.Expired + c.Live.Cancelled + int(c.Live.Shed)
+			if terminal != c.Tasks {
+				return fmt.Errorf("%s: overload cell breaks task conservation: assigned %d + expired %d + cancelled %d + shed %d = %d, want %d",
+					where, c.Live.Assigned, c.Live.Expired, c.Live.Cancelled, c.Live.Shed, terminal, c.Tasks)
+			}
+		}
 	}
 	return nil
 }
@@ -427,7 +528,13 @@ func (r *Report) Validate() error {
 // assignment rates may not drop by more than maxRelDrop (e.g. 0.10 = 10%)
 // relative to the baseline, and the live path's epoch p95 latency may not
 // grow by more than maxRelP95 (e.g. 0.50 = 50%; ≤ 0 disables the latency
-// gate). The latency threshold is deliberately separate and looser than the
+// gate). Two silent-degradation gates ride along: a cell whose baseline
+// never shed a task (Shed == 0) or never demoted its planner
+// (TierDemotions == 0) fails if the candidate starts doing either — shedding
+// and tier demotion buy rate and latency by giving up completeness or plan
+// quality, exactly what the rate and latency gates cannot see. Chaos cells
+// carry non-zero baseline counters, so they pass by construction.
+// The latency threshold is deliberately separate and looser than the
 // rate threshold: assignment rates are deterministic, so any drop is a real
 // behavior change, while p95 carries host jitter — the gate exists to catch
 // order-of-magnitude epoch blowups that a rate-only gate would wave
@@ -519,6 +626,21 @@ func Compare(base, cur *Report, maxRelDrop, maxRelP95 float64) (int, error) {
 				c.Scenario, c.Scale, c.Method,
 				time.Duration(b.Live.EpochP95NS), time.Duration(c.Live.EpochP95NS),
 				100*maxRelP95, time.Duration(p95GateFloorNS)))
+		}
+		// Silent-degradation gates: a cell that never shed tasks or demoted
+		// its planner in the baseline must not start doing so — either would
+		// quietly trade completeness or plan quality for the rate and latency
+		// numbers the gates above watch. Chaos cells shed and demote by
+		// design, so their baselines carry non-zero counters and pass.
+		if b.Live.Shed == 0 && c.Live.Shed > 0 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s %gx %s live: began shedding tasks (0 → %d)",
+				c.Scenario, c.Scale, c.Method, c.Live.Shed))
+		}
+		if b.Live.TierDemotions == 0 && c.Live.TierDemotions > 0 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s %gx %s live: governor began demoting the planner (0 → %d demotions)",
+				c.Scenario, c.Scale, c.Method, c.Live.TierDemotions))
 		}
 	}
 	if compared == 0 {

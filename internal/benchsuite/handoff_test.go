@@ -43,6 +43,13 @@ func TestShardCountFidelityAcrossAtlas(t *testing.T) {
 		if !ok {
 			t.Fatalf("archetype %q vanished from the registry", name)
 		}
+		if arch.Overload != nil {
+			// Chaos archetypes saturate the dispatcher by design — e.g.
+			// stalled-shard pins all demand to one shard band, so the other
+			// shards never replicate a ghost. TestChaosArchetypes covers them
+			// under their admission/governor profiles.
+			continue
+		}
 		sc := arch.Generate(1)
 		for _, m := range []datawa.Method{datawa.MethodGreedy, datawa.MethodDTA} {
 			ref := replayShards(t, sc, m, 1)

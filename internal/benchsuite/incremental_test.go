@@ -41,6 +41,14 @@ func TestIncrementalMatchesFullAcrossAtlas(t *testing.T) {
 		if !ok {
 			t.Fatalf("archetype %q vanished from the registry", name)
 		}
+		if arch.Overload != nil {
+			// Chaos archetypes are designed to saturate the dispatcher, not
+			// to exercise steady-state reuse: their demand regimes (a 50x
+			// burst, a single hot band) can leave some shard × method cells
+			// without a quiet component to splice. TestChaosArchetypes covers
+			// them under their admission/governor profiles.
+			continue
+		}
 		sc := arch.Generate(1)
 		for _, m := range []datawa.Method{datawa.MethodGreedy, datawa.MethodDTA} {
 			for _, shards := range []int{1, 2, 4} {

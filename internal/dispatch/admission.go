@@ -1,0 +1,162 @@
+package dispatch
+
+import (
+	"container/heap"
+
+	"repro/internal/core"
+)
+
+// AdmissionConfig bounds the ingest path. The zero value admits everything —
+// the pre-admission behavior. With admission on, a saturated dispatcher sheds
+// or defers work by task deadline instead of letting the open pool (and with
+// it the epoch latency) grow without bound: the most deferrable work — the
+// latest deadlines — yields first, and work too close to its deadline to ever
+// be served under the backlog is shed outright. Every decision happens under
+// the epoch lock in event order, so the shed/defer stream is a pure function
+// of the event stream, like everything else in the dispatcher.
+type AdmissionConfig struct {
+	// MaxOpenTasks caps the open task pool across all shards. A submit
+	// arriving at a full pool either displaces the open task with the
+	// latest deadline (when the newcomer's deadline is strictly earlier —
+	// urgent work is never locked out by stale backlog) or is itself
+	// deferred or shed. Displaced tasks defer when they still have at
+	// least DeferSlack of validity left, and shed otherwise; ghost replicas
+	// are dropped with their owner and FTA reservations release. 0 = no
+	// pool cap.
+	MaxOpenTasks int
+	// MaxSubmitsPerEpoch caps task admissions per planning epoch — the
+	// bounded-queue face of backpressure. Excess due submits are deferred
+	// one epoch (or shed when their remaining validity is below
+	// DeferSlack). Worker, cancel, and position events are never deferred:
+	// they are cheap and dropping them would corrupt liveness accounting.
+	// 0 = unbounded.
+	MaxSubmitsPerEpoch int
+	// DeferSlack is the minimum remaining validity (seconds of logical
+	// time) a task needs to be deferred rather than shed (default 2·Step):
+	// deferring a task that would expire before it could plausibly be
+	// replanned only converts a shed into an expiry one epoch later.
+	DeferSlack float64
+}
+
+// enabled reports whether any admission bound is active.
+func (a AdmissionConfig) enabled() bool {
+	return a.MaxOpenTasks > 0 || a.MaxSubmitsPerEpoch > 0
+}
+
+// deferSlackLocked resolves the configured defer slack.
+func (d *Dispatcher) deferSlackLocked() float64 {
+	if s := d.cfg.Admission.DeferSlack; s > 0 {
+		return s
+	}
+	return 2 * d.cfg.Step
+}
+
+// deferOrShedLocked disposes of a task the dispatcher cannot admit right now:
+// requeue it one epoch ahead when it still has DeferSlack of validity, shed
+// it otherwise. The task is not in any shard; the caller already removed it
+// or never admitted it.
+func (d *Dispatcher) deferOrShedLocked(s *core.Task, t float64) {
+	if s.Exp-t >= d.deferSlackLocked() {
+		d.seq++
+		heap.Push(&d.pending, pendingEvent{
+			ev:       Event{Time: t + d.cfg.Step, Kind: KindTaskSubmit, Task: s},
+			seq:      d.seq,
+			requeued: true,
+		})
+		d.deferred++
+		return
+	}
+	d.shedIngest++
+}
+
+// admitOverCapLocked decides what gives way when a submit hits a full open
+// pool: the newcomer, or the open task with the latest deadline. It returns
+// true when the newcomer may be admitted (a victim was displaced), false when
+// the newcomer itself was deferred or shed.
+func (d *Dispatcher) admitOverCapLocked(s *core.Task, t float64) bool {
+	if v, ok := d.peekVictimLocked(); ok && v.exp > s.Exp {
+		d.displaceLocked(v, t)
+		return true
+	}
+	d.deferOrShedLocked(s, t)
+	return false
+}
+
+// displaceLocked removes an open task from its shard (and every ghost
+// replica, and any FTA reservation — ShedTask/DropTask release the pin) and
+// either requeues it one epoch ahead or sheds it, by the DeferSlack rule.
+func (d *Dispatcher) displaceLocked(v victim, t float64) {
+	if v.task.Exp-t >= d.deferSlackLocked() {
+		d.shards[v.shard].DropTask(v.id)
+		d.dropGhostsLocked(v.id)
+		delete(d.taskOf, v.id)
+		d.seq++
+		heap.Push(&d.pending, pendingEvent{
+			ev:       Event{Time: t + d.cfg.Step, Kind: KindTaskSubmit, Task: v.task},
+			seq:      d.seq,
+			requeued: true,
+		})
+		d.deferred++
+		return
+	}
+	d.shards[v.shard].ShedTask(v.id)
+	d.dropGhostsLocked(v.id)
+	delete(d.taskOf, v.id)
+}
+
+// dropGhostsLocked removes every ghost replica of a task — replicas must
+// leave the planning pools with their owner, or a ghost shard could assign a
+// task the admission path already dropped.
+func (d *Dispatcher) dropGhostsLocked(id int) {
+	for _, g := range d.ghosts[id] {
+		d.shards[g].DropTask(id)
+	}
+	delete(d.ghosts, id)
+}
+
+// victim is one displacement candidate: an owned open task, keyed by
+// deadline. Entries are pushed at admission and validated lazily at pop —
+// a task that has since closed, deferred, or changed hands is discarded.
+type victim struct {
+	exp   float64
+	id    int
+	task  *core.Task
+	shard int
+}
+
+// peekVictimLocked returns the latest-deadline live open task, discarding
+// stale heap entries. Validation is by pointer identity against the owning
+// shard's open pool, so a closed-and-resubmitted id cannot alias.
+func (d *Dispatcher) peekVictimLocked() (victim, bool) {
+	for len(d.victims) > 0 {
+		v := d.victims[0]
+		if shard, ok := d.taskOf[v.id]; ok && shard == v.shard {
+			if cur, open := d.shards[v.shard].OpenTask(v.id); open && cur == v.task {
+				return v, true
+			}
+		}
+		heap.Pop(&d.victims)
+	}
+	return victim{}, false
+}
+
+// victimHeap is a max-heap by (deadline, id): the root is the most
+// deferrable open task.
+type victimHeap []victim
+
+func (h victimHeap) Len() int { return len(h) }
+func (h victimHeap) Less(i, j int) bool {
+	if h[i].exp != h[j].exp {
+		return h[i].exp > h[j].exp
+	}
+	return h[i].id > h[j].id
+}
+func (h victimHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *victimHeap) Push(x any)   { *h = append(*h, x.(victim)) }
+func (h *victimHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

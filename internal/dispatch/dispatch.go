@@ -132,9 +132,24 @@ type Config struct {
 	Travel geo.TravelModel
 	// Fixed selects FTA semantics (see stream.Config.Fixed).
 	Fixed bool
-	// NewPlanner builds the planner for one shard. Required. Planners are
-	// stateful, so each shard must get its own instance.
+	// NewPlanner builds the planner for one shard. Required unless NewLadder
+	// is set. Planners are stateful, so each shard must get its own instance.
 	NewPlanner func(shard int) assign.Planner
+	// NewLadder builds one shard's degradation ladder: index 0 is the full
+	// planner, later entries progressively cheaper fallbacks (e.g. DTA →
+	// Greedy → Match). Consulted only when the governor is enabled
+	// (Governor.Budget > 0); without it the ladder is the single planner
+	// from NewPlanner and the governor has nowhere to step down to.
+	NewLadder func(shard int) []assign.Planner
+	// Admission bounds the ingest path; the zero value admits everything.
+	Admission AdmissionConfig
+	// Governor enables SLA-aware planner degradation when Budget > 0: each
+	// shard's windowed p95 epoch cost is held under the budget by stepping
+	// that shard down the ladder, recovering hysteretically.
+	Governor GovernorConfig
+	// TraceDepth retains the last N per-epoch trace records for the
+	// operability endpoints (0 = tracing off).
+	TraceDepth int
 	// Forecast, when non-nil, injects virtual (predicted) tasks. Forecasting
 	// is global, not per shard: the model sees the full published stream —
 	// per-shard series would dilute demand counts below the materialization
@@ -185,6 +200,11 @@ type ShardMetrics struct {
 	Workers int          `json:"workers"`
 	Open    int          `json:"open_tasks"`
 	Stats   stream.Stats `json:"stats"`
+	// Tier is the shard's current degradation-ladder position (0 = full
+	// planner) and TierName the active planner's name; zero/empty without
+	// a governor.
+	Tier     int    `json:"tier"`
+	TierName string `json:"tier_name,omitempty"`
 }
 
 // Metrics is a point-in-time snapshot of the dispatcher.
@@ -229,6 +249,20 @@ type Metrics struct {
 	Expired     int `json:"expired"`
 	Cancelled   int `json:"cancelled"`
 	Repositions int `json:"repositions"`
+	// Shed counts tasks terminally dropped by admission control — pool
+	// displacements (per-shard Stats.Shed) plus ingest-path sheds that
+	// never reached a shard. After a full drain, assigned + expired +
+	// cancelled + shed accounts every submitted task exactly once.
+	// Deferred counts deferral events: non-terminal requeues, one per
+	// epoch a task was pushed back, so it can exceed the task count.
+	Shed     int64 `json:"shed"`
+	Deferred int64 `json:"deferred"`
+	// TierDemotions/TierPromotions count governor ladder transitions;
+	// WorstTier is the deepest tier any shard reached. All zero without a
+	// governor.
+	TierDemotions  int64 `json:"tier_demotions"`
+	TierPromotions int64 `json:"tier_promotions"`
+	WorstTier      int   `json:"worst_tier"`
 	// PlanCalls and PlanTime aggregate planner invocations across shards.
 	PlanCalls int           `json:"plan_calls"`
 	PlanTime  time.Duration `json:"plan_time_ns"`
@@ -279,6 +313,24 @@ type Dispatcher struct {
 	clock       float64 // next epoch instant
 	epochs      int
 	lat         *latencyRing
+	// Admission state: shedIngest counts tasks terminally dropped on the
+	// ingest path (never admitted to a shard); deferred counts deferral
+	// events (non-terminal requeues); victims orders the open pool by
+	// deadline for displacement.
+	shedIngest int64
+	deferred   int64
+	victims    victimHeap
+	// Governor state: gov is nil when disabled; tiered holds each shard's
+	// ladder dispatcher; costs/preWorkers/preOpen/shardWall are per-tick
+	// scratch, allocated once.
+	gov        *Governor
+	tiered     []*tieredPlanner
+	costFn     CostFunc
+	costs      []float64
+	preWorkers []int
+	preOpen    []int
+	shardWall  []time.Duration
+	trace      *traceRing
 	// Global forecast state (Config.Forecast only).
 	published    []*core.Task
 	lastForecast float64
@@ -289,7 +341,8 @@ type Dispatcher struct {
 // errors, not runtime conditions.
 func New(cfg Config) *Dispatcher {
 	cfg = cfg.withDefaults()
-	if cfg.NewPlanner == nil {
+	govOn := cfg.Governor.Budget > 0
+	if cfg.NewPlanner == nil && !(govOn && cfg.NewLadder != nil) {
 		panic("dispatch: Config.NewPlanner is required")
 	}
 	if cfg.Shards > 1 && cfg.Grid.Cells() <= 0 {
@@ -332,8 +385,26 @@ func New(cfg Config) *Dispatcher {
 	if incremental {
 		d.inc = make([]*assign.Incremental, cfg.Shards)
 	}
+	if govOn {
+		d.tiered = make([]*tieredPlanner, cfg.Shards)
+	}
 	for i := range d.shards {
-		planner := cfg.NewPlanner(i)
+		var planner assign.Planner
+		if govOn {
+			var ladder []assign.Planner
+			if cfg.NewLadder != nil {
+				ladder = cfg.NewLadder(i)
+			} else {
+				ladder = []assign.Planner{cfg.NewPlanner(i)}
+			}
+			if len(ladder) == 0 {
+				panic("dispatch: Config.NewLadder returned an empty ladder")
+			}
+			d.tiered[i] = &tieredPlanner{ladder: ladder}
+			planner = d.tiered[i]
+		} else {
+			planner = cfg.NewPlanner(i)
+		}
 		if p, ok := planner.(interface{ SetParallelism(int) }); ok && perPlanner > 0 {
 			p.SetParallelism(perPlanner)
 		}
@@ -354,6 +425,19 @@ func New(cfg Config) *Dispatcher {
 		// Machines get no forecaster of their own: virtuals come from the
 		// dispatcher-level forecast, routed by cell ownership.
 		d.shards[i] = stream.NewMachine(mc)
+	}
+	if govOn {
+		d.gov = NewGovernor(cfg.Governor, cfg.Shards, len(d.tiered[0].ladder))
+	}
+	d.costFn = cfg.Governor.withDefaults().Cost
+	if cfg.TraceDepth > 0 {
+		d.trace = newTraceRing(cfg.TraceDepth)
+	}
+	if d.gov != nil || d.trace != nil {
+		d.costs = make([]float64, cfg.Shards)
+		d.preWorkers = make([]int, cfg.Shards)
+		d.preOpen = make([]int, cfg.Shards)
+		d.shardWall = make([]time.Duration, cfg.Shards)
 	}
 	d.lastForecast = math.Inf(-1)
 	d.nowBits.Store(math.Float64bits(cfg.Now))
@@ -532,12 +616,28 @@ func (d *Dispatcher) tickLocked() {
 	}
 	d.forecastLocked(t)
 
+	// Pool sizes at the planning instant feed the governor's cost function
+	// and the epoch trace; captured before the Step mutates them.
+	instrument := d.gov != nil || d.trace != nil
+	if instrument {
+		for i, m := range d.shards {
+			d.preWorkers[i] = m.Workers()
+			d.preOpen[i] = m.OpenTasks()
+		}
+	}
 	start := time.Now()
 	par.Do(len(d.shards), d.cfg.Parallelism, func(i int) {
-		d.shards[i].Step(t)
+		if instrument {
+			t0 := time.Now()
+			d.shards[i].Step(t)
+			d.shardWall[i] = time.Since(t0)
+		} else {
+			d.shards[i].Step(t)
+		}
 	})
 	d.arbitrateLocked(t)
-	d.lat.add(time.Since(start))
+	wall := time.Since(start)
+	d.lat.add(wall)
 
 	// Retire routing entries for departed workers and closed tasks so the
 	// maps track the live population, not the service's lifetime history.
@@ -559,6 +659,35 @@ func (d *Dispatcher) tickLocked() {
 		}
 	}
 
+	if instrument {
+		for i := range d.shards {
+			d.costs[i] = d.costFn(i, d.shardWall[i], d.preWorkers[i], d.preOpen[i])
+		}
+	}
+	if d.gov != nil {
+		// Governor decisions apply from the next epoch: the tier is set
+		// after this epoch's Step, under the same lock the next Step plans
+		// under, so every shard's planner is fixed for a whole epoch.
+		for i := range d.shards {
+			d.tiered[i].setTier(d.gov.Observe(i, d.costs[i]))
+		}
+	}
+	if d.trace != nil {
+		rec := EpochTrace{Epoch: d.epochs, Now: t, WallNS: wall.Nanoseconds(),
+			Shards: make([]ShardTrace, len(d.shards))}
+		for i := range d.shards {
+			st := ShardTrace{
+				Workers: d.preWorkers[i], Open: d.preOpen[i],
+				Cost: d.costs[i], WallNS: d.shardWall[i].Nanoseconds(),
+			}
+			if d.tiered != nil {
+				st.Tier = d.tiered[i].tier
+				st.TierName = d.tiered[i].Name()
+			}
+			rec.Shards[i] = st
+		}
+		d.trace.add(rec)
+	}
 	d.epochs++
 	d.clock = t + d.cfg.Step
 	d.nowBits.Store(math.Float64bits(d.clock))
@@ -714,12 +843,25 @@ func (d *Dispatcher) drainLocked() {
 // matters is that events about the *same* entity — an offline followed by a
 // re-online, a submit followed by a cancel — apply in the order produced.
 func (d *Dispatcher) applyDueLocked(t float64) {
+	submits := 0
 	for len(d.pending) > 0 && d.pending[0].ev.Time <= t {
-		d.applyLocked(heap.Pop(&d.pending).(pendingEvent).ev, t)
+		pe := heap.Pop(&d.pending).(pendingEvent)
+		if c := d.cfg.Admission.MaxSubmitsPerEpoch; c > 0 && pe.ev.Kind == KindTaskSubmit {
+			// Backpressure on the ingest path: past the per-epoch budget,
+			// due submits defer one epoch (requeued at t+Step, so the loop
+			// will not see them again this tick) or shed when too close to
+			// their deadline for a deferral to ever be served.
+			if submits >= c {
+				d.deferOrShedLocked(pe.ev.Task, t)
+				continue
+			}
+			submits++
+		}
+		d.applyLocked(pe.ev, t, pe.requeued)
 	}
 }
 
-func (d *Dispatcher) applyLocked(ev Event, t float64) {
+func (d *Dispatcher) applyLocked(ev Event, t float64, requeued bool) {
 	ok := false
 	switch ev.Kind {
 	case KindWorkerOnline:
@@ -753,13 +895,28 @@ func (d *Dispatcher) applyLocked(ev Event, t float64) {
 			break
 		}
 		// The global forecast feed mirrors the machine's own: every submit,
-		// including expired-on-arrival, is demand the model should see.
-		if d.cfg.Forecast != nil {
+		// including expired-on-arrival, is demand the model should see. A
+		// requeued (deferred) submit already fed it on first application.
+		if d.cfg.Forecast != nil && !requeued {
 			d.published = append(d.published, ev.Task)
+		}
+		// Admission control: a submit hitting a full open pool displaces
+		// the most deferrable open task, or itself defers or sheds — see
+		// AdmissionConfig. The ≥ comparison is deliberate: at exactly
+		// MaxOpenTasks the pool is full and the newcomer must displace or
+		// yield.
+		if c := d.cfg.Admission.MaxOpenTasks; c > 0 && len(d.taskOf) >= c {
+			if !d.admitOverCapLocked(ev.Task, t) {
+				ok = true // consumed: deferred or shed, both accounted
+				break
+			}
 		}
 		shard := d.shardOf(ev.Task.Loc)
 		if d.shards[shard].AddTask(ev.Task, t) {
 			d.taskOf[ev.Task.ID] = shard
+			if d.cfg.Admission.MaxOpenTasks > 0 {
+				heap.Push(&d.victims, victim{exp: ev.Task.Exp, id: ev.Task.ID, task: ev.Task, shard: shard})
+			}
 			if d.haloEnabled() {
 				d.replicateLocked(ev.Task, shard, t)
 			}
@@ -831,19 +988,62 @@ func (d *Dispatcher) Snapshot() Metrics {
 		m.IncrementalHits += st.ComponentsReused
 		m.ComponentsReplanned += st.ComponentsReplanned
 	}
+	m.Shed = d.shedIngest
+	m.Deferred = d.deferred
+	if d.gov != nil {
+		m.TierDemotions, m.TierPromotions = d.gov.Counters()
+		m.WorstTier = d.gov.Worst()
+	}
 	for i, sh := range d.shards {
 		st := sh.Stats()
-		m.Shards = append(m.Shards, ShardMetrics{
+		sm := ShardMetrics{
 			Shard: i, Workers: sh.Workers(), Open: sh.OpenTasks(), Stats: st,
-		})
+		}
+		if d.tiered != nil {
+			sm.Tier = d.tiered[i].tier
+			sm.TierName = d.tiered[i].Name()
+		}
+		m.Shards = append(m.Shards, sm)
 		m.Assigned += st.Assigned
 		m.Expired += st.Expired
 		m.Cancelled += st.Cancelled
 		m.Repositions += st.Repositions
+		m.Shed += int64(st.Shed)
 		m.PlanCalls += st.PlanCalls
 		m.PlanTime += st.PlanTime
 	}
 	return m
+}
+
+// Quiesce runs planning epochs until the dispatcher is fully drained — no
+// queued or pending events, no open tasks — and, when the governor is on,
+// every shard has recovered to the top planner tier; maxEpochs bounds the
+// loop. It reports whether the drained-and-recovered state was reached.
+// After a successful Quiesce every submitted task is terminal, so the
+// conservation identity assigned + expired + cancelled + shed == submitted
+// holds exactly — the benchsuite's chaos gate asserts it.
+func (d *Dispatcher) Quiesce(maxEpochs int) bool {
+	for i := 0; i <= maxEpochs; i++ {
+		d.mu.Lock()
+		d.drainLocked()
+		done := len(d.queue) == 0 && len(d.pending) == 0 && len(d.taskOf) == 0
+		if done && d.gov != nil {
+			for s := range d.shards {
+				if d.gov.TierOf(s) != 0 {
+					done = false
+					break
+				}
+			}
+		}
+		if !done && i < maxEpochs {
+			d.tickLocked()
+		}
+		d.mu.Unlock()
+		if done {
+			return true
+		}
+	}
+	return false
 }
 
 // pendingEvent orders drained events by effect time, ingest order breaking
@@ -851,6 +1051,9 @@ func (d *Dispatcher) Snapshot() Metrics {
 type pendingEvent struct {
 	ev  Event
 	seq int64
+	// requeued marks an admission-control deferral: the event already went
+	// through first-application side effects (forecast feed) once.
+	requeued bool
 }
 
 type eventHeap []pendingEvent

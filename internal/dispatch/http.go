@@ -23,7 +23,9 @@ const syntheticIDBase = 1 << 30
 //	POST /v1/tasks              {id?, x, y, valid}         submit task
 //	POST /v1/tasks/cancel       {id}                       cancel task
 //	GET  /v1/plan?worker=ID                                current schedule
-//	GET  /v1/metrics                                       snapshot
+//	GET  /v1/metrics                                       snapshot (JSON)
+//	GET  /v1/trace?n=K                                     epoch trace records
+//	GET  /metrics                                          Prometheus text format
 //	GET  /healthz                                          liveness
 //
 // Ingestion endpoints respond 202 Accepted with the logical effect time:
@@ -45,6 +47,8 @@ func NewHandler(d *Dispatcher) *Handler {
 	h.mux.HandleFunc("POST /v1/tasks/cancel", h.cancelTask)
 	h.mux.HandleFunc("GET /v1/plan", h.plan)
 	h.mux.HandleFunc("GET /v1/metrics", h.metrics)
+	h.mux.HandleFunc("GET /v1/trace", h.traceRecords)
+	h.mux.HandleFunc("GET /metrics", h.prometheus)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -184,6 +188,25 @@ func (h *Handler) plan(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, h.d.Snapshot())
+}
+
+// traceRecords serves the epoch trace ring (empty without Config.TraceDepth):
+// ?n=K limits the response to the K most recent epochs.
+func (h *Handler) traceRecords(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "n query parameter must be a non-negative integer")
+			return
+		}
+		n = v
+	}
+	tr := h.d.Trace(n)
+	if tr == nil {
+		tr = []EpochTrace{}
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 // finite rejects NaN and ±Inf inputs before they reach shard routing: a

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -224,5 +226,110 @@ func TestHTTPMetricsCounterRoundTrip(t *testing.T) {
 		if got := int64(raw.(float64)); got != want {
 			t.Errorf("metrics %q = %d, want %d", key, got, want)
 		}
+	}
+}
+
+// TestHTTPPrometheusExposition pins the /metrics scrape surface: the text
+// exposition content type, counter/gauge typing, and the overload series —
+// shed totals and per-shard tiers — an operator watches during a chaos drill.
+func TestHTTPPrometheusExposition(t *testing.T) {
+	d := New(Config{
+		Step: 1, Travel: travel, NewPlanner: searchFactory(),
+		Admission: AdmissionConfig{MaxOpenTasks: 1, DeferSlack: 10000},
+	})
+	srv := httptest.NewServer(NewHandler(d))
+	defer srv.Close()
+	d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 0}, Reach: 1, On: 0, Off: 1000})
+	// Pool cap 1: the second task's earlier deadline displaces the first out
+	// of shard 0, which sheds it under the huge slack bar — so the shed shows
+	// up in both the global and the per-shard series.
+	d.SubmitTask(&core.Task{ID: 1, Loc: geo.Point{X: 0.1}, Pub: 0, Exp: 900, Cell: -1})
+	d.SubmitTask(&core.Task{ID: 2, Loc: geo.Point{X: 0.2}, Pub: 0, Exp: 500, Cell: -1})
+	d.Advance(5)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q is not the Prometheus text exposition format", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE datawa_assigned_total counter",
+		"datawa_assigned_total 1",
+		"datawa_shed_total 1",
+		"datawa_deferred_total 0",
+		"# TYPE datawa_shard_tier gauge",
+		`datawa_shard_tier{shard="0"} 0`,
+		`datawa_shard_shed_total{shard="0"} 1`,
+		`datawa_epoch_latency_seconds{quantile="0.95"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+}
+
+// TestHTTPTraceEndpoint pins the epoch-trace query surface: oldest-first
+// consecutive records bounded by the ring depth, ?n truncation to the most
+// recent epochs, 400 on a malformed n, and an empty (not null) array when
+// tracing is off.
+func TestHTTPTraceEndpoint(t *testing.T) {
+	d := New(Config{Step: 1, Travel: travel, NewPlanner: searchFactory(), TraceDepth: 8})
+	srv := httptest.NewServer(NewHandler(d))
+	defer srv.Close()
+	d.WorkerOnline(&core.Worker{ID: 1, Loc: geo.Point{X: 0}, Reach: 1, On: 0, Off: 1000})
+	d.Advance(20)
+
+	var all []EpochTrace
+	getJSON(t, srv, "/v1/trace", &all)
+	if len(all) != 8 {
+		t.Fatalf("ring depth 8 after 20 epochs returned %d records", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Epoch != all[i-1].Epoch+1 {
+			t.Fatalf("trace records out of order: epoch %d follows %d", all[i].Epoch, all[i-1].Epoch)
+		}
+	}
+	var tail []EpochTrace
+	getJSON(t, srv, "/v1/trace?n=2", &tail)
+	if len(tail) != 2 || tail[1].Epoch != all[len(all)-1].Epoch {
+		t.Fatalf("?n=2 returned %d records ending at the wrong epoch: %+v", len(tail), tail)
+	}
+
+	for _, q := range []string{"?n=-1", "?n=x"} {
+		resp, err := http.Get(srv.URL + "/v1/trace" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /v1/trace%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	off := singleShard(searchFactory())
+	srvOff := httptest.NewServer(NewHandler(off))
+	defer srvOff.Close()
+	respOff, err := http.Get(srvOff.URL + "/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respOff.Body.Close()
+	raw, err := io.ReadAll(respOff.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(raw)); got != "[]" {
+		t.Fatalf("trace-off response = %q, want an empty JSON array", got)
 	}
 }

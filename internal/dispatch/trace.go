@@ -1,0 +1,70 @@
+package dispatch
+
+// ShardTrace is one shard's slice of an epoch trace record.
+type ShardTrace struct {
+	// Tier is the shard's degradation-ladder position after this epoch's
+	// governor decision (0 = full planner); TierName is the active
+	// planner's name. Zero/empty without a governor.
+	Tier     int    `json:"tier"`
+	TierName string `json:"tier_name,omitempty"`
+	// Workers and Open are the shard's pool sizes at the planning instant,
+	// before the Step ran.
+	Workers int `json:"workers"`
+	Open    int `json:"open_tasks"`
+	// Cost is the epoch cost the governor scored (CostFunc units; wall
+	// seconds by default), WallNS the shard's measured Step wall time.
+	Cost   float64 `json:"cost"`
+	WallNS int64   `json:"wall_ns"`
+}
+
+// EpochTrace is one planning epoch's record in the trace ring — the
+// operability view of what each epoch cost and what tier each shard ran at,
+// exposed raw over GET /v1/trace.
+type EpochTrace struct {
+	Epoch  int          `json:"epoch"`
+	Now    float64      `json:"now"`
+	WallNS int64        `json:"wall_ns"`
+	Shards []ShardTrace `json:"shards"`
+}
+
+// traceRing keeps the last N epoch traces.
+type traceRing struct {
+	buf  []EpochTrace
+	next int
+	full bool
+}
+
+func newTraceRing(n int) *traceRing { return &traceRing{buf: make([]EpochTrace, n)} }
+
+func (r *traceRing) add(e EpochTrace) {
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// last returns up to n retained traces, oldest first (n ≤ 0 = all).
+func (r *traceRing) last(n int) []EpochTrace {
+	var out []EpochTrace
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Trace returns up to n recent epoch trace records, oldest first (n ≤ 0 =
+// the whole retained window). Empty unless Config.TraceDepth is set.
+func (d *Dispatcher) Trace(n int) []EpochTrace {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.trace == nil {
+		return nil
+	}
+	return d.trace.last(n)
+}

@@ -1,6 +1,9 @@
 package scenario
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/geo"
 	"repro/internal/workload"
 )
@@ -125,4 +128,174 @@ func init() {
 			},
 		},
 	})
+
+	// --- Chaos archetypes (Overload != nil) ---------------------------------
+	// Workloads built to saturate the dispatcher, each carrying the admission
+	// and governor settings it is meant to run under. The benchmark suite
+	// maps the profile onto the live path and gates task conservation and
+	// tier recovery; the offline/live fidelity gate skips these cells.
+
+	Register(Archetype{
+		Name:    "flash-flood",
+		Summary: "50x flash crowd: event-spike escalated far beyond the epoch budget",
+		Stress:  "admission shedding, governor demotion under burst, hysteretic recovery",
+		Base: workload.Config{
+			Name: "flash-flood", Seed: 16,
+			Region:   geo.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4},
+			GridRows: 6, GridCols: 6,
+			NumWorkers: 110, NumTasks: 1000,
+			Duration: 1200, HistoryDuration: 600,
+			TaskValid: 30, WorkerReach: 1, WorkerAvail: 600,
+			Hotspots: 2, HotspotStd: 0.1, Background: 0.1,
+			DependencyPairs: 4, DependencyLag: 30, DependencyProb: 0.85,
+			RegimePeriod: 0,
+			// One needle peak 50x over the floor: (0.05+2.45)/0.05 = 50.
+			// Roughly 70% of the trace lands inside ±3 widths of the peak.
+			Peaks: []workload.IntensityPeak{
+				{Center: 0.55, Width: 0.02, Amp: 2.45},
+			},
+			IntensityFloor: 0.05,
+		},
+		Overload: &OverloadProfile{
+			// The burst drives the uncapped pool past 200 open tasks
+			// (off-burst steady state sits near 30), so the cap binds only
+			// during the flood and the flood must shed: with two thirds of
+			// the 30 s validity as the defer threshold, overflow that cannot
+			// be admitted quickly is dropped rather than churned through the
+			// requeue loop until it expires inside the pool.
+			MaxOpenTasks: 120,
+			DeferSlack:   20,
+			BudgetUnits:  2500,
+			Window:       8,
+			Dwell:        4,
+		},
+		Check: checkBurstFraction(0.55, 0.02, 0.6),
+	})
+	Register(Archetype{
+		Name:    "stalled-shard",
+		Summary: "all demand pinned to one shard band; the rest of the region idles",
+		Stress:  "per-shard governor isolation: one shard demotes, its siblings stay at full tier",
+		Base: workload.Config{
+			Name: "stalled-shard", Seed: 17,
+			Region:   geo.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4},
+			GridRows: 6, GridCols: 6,
+			NumWorkers: 100, NumTasks: 2000,
+			Duration: 1200, HistoryDuration: 600,
+			TaskValid: 25, WorkerReach: 1, WorkerAvail: 600,
+			Hotspots: 3, HotspotStd: 0.12, Background: 0.05,
+			DependencyPairs: 0, DependencyLag: 30, DependencyProb: 0,
+			RegimePeriod: 0,
+			Peaks: []workload.IntensityPeak{
+				{Center: 0.35, Width: 0.1, Amp: 1.2},
+				{Center: 0.7, Width: 0.1, Amp: 1.2},
+			},
+			IntensityFloor: 0.25,
+			// Every hotspot sits in the top row band, so a row-major banded
+			// shard map concentrates nearly the whole load on one shard.
+			HotspotZones: []geo.Rect{zone(0, 3.4, 4, 4)},
+		},
+		Overload: &OverloadProfile{
+			// The hot band's arrival rate outruns the workers reachable from
+			// it, so its open pool backs up against the cap while the idle
+			// bands never come near it: the same profile binds on one shard
+			// and is invisible on its siblings.
+			MaxOpenTasks: 24,
+			BudgetUnits:  400,
+			Window:       8,
+			Dwell:        4,
+		},
+		Check: checkZoneFraction(zone(0, 3, 4, 4), 0.75),
+	})
+	Register(Archetype{
+		Name:    "clock-skew",
+		Summary: "producer clock skew: arrival stamps drift up to ±20 s off the true deadline",
+		Stress:  "deadline-aware shed/defer decisions on disordered, shortened validity windows",
+		Base: workload.Config{
+			Name: "clock-skew", Seed: 18,
+			Region:   geo.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4},
+			GridRows: 6, GridCols: 6,
+			NumWorkers: 100, NumTasks: 700,
+			Duration: 1200, HistoryDuration: 600,
+			TaskValid: 45, WorkerReach: 1, WorkerAvail: 600,
+			Hotspots: 4, HotspotStd: 0.18, Background: 0.1,
+			DependencyPairs: 2, DependencyLag: 25, DependencyProb: 0.8,
+			RegimePeriod: 600,
+			Peaks: []workload.IntensityPeak{
+				{Center: 0.5, Width: 0.1, Amp: 2},
+			},
+			IntensityFloor: 0.3,
+			SkewProb:       0.5, SkewMax: 20,
+		},
+		Overload: &OverloadProfile{
+			// Both ingest faces bind here: the submit cap sits under the
+			// rush's per-epoch arrival burst (deferring the overflow) and the
+			// pool cap under the rush's open peak (displacing by deadline —
+			// which skewed stamps make genuinely disordered).
+			MaxOpenTasks:       32,
+			MaxSubmitsPerEpoch: 6,
+			BudgetUnits:        800,
+			Window:             8,
+			Dwell:              4,
+		},
+		Check: checkSkewApplied(0.2),
+	})
+}
+
+// checkBurstFraction asserts that at least minFrac of the trace's tasks were
+// published within ±3 widths of the configured peak — the property that makes
+// a flash-crowd archetype a flash crowd at every density.
+func checkBurstFraction(center, width, minFrac float64) func(*workload.Scenario, float64) error {
+	return func(sc *workload.Scenario, _ float64) error {
+		lo := (center - 3*width) * sc.Config.Duration
+		hi := (center + 3*width) * sc.Config.Duration
+		in := 0
+		for _, s := range sc.Tasks {
+			if s.Pub >= lo && s.Pub <= hi {
+				in++
+			}
+		}
+		if frac := float64(in) / float64(len(sc.Tasks)); frac < minFrac {
+			return fmt.Errorf("burst fraction %.2f below %.2f (want the flood inside [%.0f, %.0f] s)", frac, minFrac, lo, hi)
+		}
+		return nil
+	}
+}
+
+// checkZoneFraction asserts that at least minFrac of the trace's tasks lie
+// inside the given rectangle — the stalled-shard guarantee that one shard
+// band really owns the load.
+func checkZoneFraction(z geo.Rect, minFrac float64) func(*workload.Scenario, float64) error {
+	return func(sc *workload.Scenario, _ float64) error {
+		in := 0
+		for _, s := range sc.Tasks {
+			if z.Contains(s.Loc) {
+				in++
+			}
+		}
+		if frac := float64(in) / float64(len(sc.Tasks)); frac < minFrac {
+			return fmt.Errorf("zone fraction %.2f below %.2f (demand escaped the stalled band %v)", frac, minFrac, z)
+		}
+		return nil
+	}
+}
+
+// checkSkewApplied asserts that at least minFrac of the trace's tasks carry a
+// skewed validity window (|validity − TaskValid| > 1 s) and none is negative.
+func checkSkewApplied(minFrac float64) func(*workload.Scenario, float64) error {
+	return func(sc *workload.Scenario, _ float64) error {
+		skewed := 0
+		for _, s := range sc.Tasks {
+			v := s.Exp - s.Pub
+			if v <= 0 {
+				return fmt.Errorf("task %d has non-positive validity %.2f s", s.ID, v)
+			}
+			if math.Abs(v-sc.Config.TaskValid) > 1 {
+				skewed++
+			}
+		}
+		if frac := float64(skewed) / float64(len(sc.Tasks)); frac < minFrac {
+			return fmt.Errorf("skewed fraction %.2f below %.2f", frac, minFrac)
+		}
+		return nil
+	}
 }

@@ -14,11 +14,14 @@ func ExampleRegistry() {
 		fmt.Printf("%-13s %4d workers %5d tasks  %s\n", a.Name, c.NumWorkers, c.NumTasks, a.Summary)
 	}
 	// Output:
+	// clock-skew     100 workers   700 tasks  producer clock skew: arrival stamps drift up to ±20 s off the true deadline
 	// courier-grid   170 workers  1400 tasks  food-delivery grid: many short tasks, short windows, worker churn
 	// didi            38 workers   443 tasks  DiDi analogue (Table II): denser evening-window Chengdu trace
 	// event-spike    110 workers   750 tasks  stadium flash crowd: one extreme peak, post-event dispersal
+	// flash-flood    110 workers  1000 tasks  50x flash crowd: event-spike escalated far beyond the epoch budget
 	// multi-city     140 workers   900 tasks  two disjoint hotspot clusters separated by an empty corridor
 	// rush-hour      120 workers   850 tasks  sharp bimodal commuter peaks with corridor dependencies
 	// sparse-suburb   50 workers   280 tasks  low density, long reachable distances, wide availability windows
+	// stalled-shard  100 workers  2000 tasks  all demand pinned to one shard band; the rest of the region idles
 	// yueche          31 workers   552 tasks  Yueche analogue (Table II): drifting hotspots, two-rush intensity
 }

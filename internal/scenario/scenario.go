@@ -36,6 +36,37 @@ type Archetype struct {
 	Stress string
 	// Base is the 1x configuration. Base.Name and Base.Seed must be set.
 	Base workload.Config
+	// Overload, when non-nil, marks a chaos archetype: a workload designed
+	// to saturate the dispatcher, carrying the admission-control and
+	// governor settings it is meant to run under. The benchmark suite maps
+	// the profile onto the live dispatcher (with the deterministic
+	// work-unit cost function) and gates task conservation and tier
+	// recovery on the run; the offline/live fidelity gate skips these
+	// cells, since shedding makes the two paths diverge by design.
+	Overload *OverloadProfile
+	// Check, when non-nil, adds archetype-specific invariants to Validate —
+	// e.g. that a flash-flood trace really concentrates most of its tasks
+	// inside the burst window.
+	Check func(sc *workload.Scenario, f float64) error
+}
+
+// OverloadProfile is the plain-data admission and governor configuration a
+// chaos archetype runs under (internal/dispatch wires it into its own config
+// types; keeping this package free of that dependency).
+type OverloadProfile struct {
+	// MaxOpenTasks caps the dispatcher's open pool; MaxSubmitsPerEpoch
+	// caps per-epoch admissions; DeferSlack is the defer-versus-shed
+	// deadline threshold in seconds (0 = the dispatcher default).
+	MaxOpenTasks       int
+	MaxSubmitsPerEpoch int
+	DeferSlack         float64
+	// BudgetUnits is the governor's per-shard epoch budget in
+	// deterministic work units — workers × open tasks at the planning
+	// instant — so tier transitions replay byte-identically on every host.
+	BudgetUnits float64
+	// Window and Dwell override the governor's hysteresis parameters
+	// (0 = dispatcher defaults).
+	Window, Dwell int
 }
 
 // Scale returns the archetype's configuration at density multiplier f > 0:
@@ -101,12 +132,23 @@ func (a Archetype) Validate(sc *workload.Scenario, f float64) error {
 			return fmt.Errorf("%s: worker %d location %v outside region", a.Name, w.ID, w.Loc)
 		}
 	}
+	// Clock skew moves the Pub stamp but never the deadline, so the
+	// effective validity stays within ±SkewMax of the configured window.
+	validTol := 1e-9
+	if c.SkewProb > 0 {
+		validTol += c.SkewMax
+	}
 	for _, s := range sc.Tasks {
 		if !c.Region.Contains(s.Loc) {
 			return fmt.Errorf("%s: task %d location %v outside region", a.Name, s.ID, s.Loc)
 		}
-		if math.Abs((s.Exp-s.Pub)-c.TaskValid) > 1e-9 {
-			return fmt.Errorf("%s: task %d validity %.2f s, want %.2f", a.Name, s.ID, s.Exp-s.Pub, c.TaskValid)
+		if math.Abs((s.Exp-s.Pub)-c.TaskValid) > validTol {
+			return fmt.Errorf("%s: task %d validity %.2f s, want %.2f ± %.2f", a.Name, s.ID, s.Exp-s.Pub, c.TaskValid, validTol)
+		}
+	}
+	if a.Check != nil {
+		if err := a.Check(sc, f); err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 	return nil

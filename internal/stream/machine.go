@@ -68,6 +68,11 @@ type Stats struct {
 	Expired int `json:"expired"`
 	// Cancelled counts tasks withdrawn by CancelTask before assignment.
 	Cancelled int `json:"cancelled"`
+	// Shed counts open tasks evicted by admission control (ShedTask) under
+	// overload — terminal, like Expired and Cancelled, so conservation stays
+	// provable: assigned + expired + cancelled + shed accounts every
+	// admitted task.
+	Shed int `json:"shed"`
 	// Repositions counts moves toward virtual (predicted) tasks.
 	Repositions int `json:"repositions"`
 	// PlanCalls is the number of planning instants that invoked the planner.
@@ -364,6 +369,30 @@ func (m *Machine) CancelTask(id int) bool {
 		return true
 	}
 	m.stats.Cancelled++
+	m.noteClosure(s.ID)
+	return true
+}
+
+// ShedTask evicts an open task under admission control — the dispatcher's
+// overload path. It mirrors CancelTask (reserved FTA pins release, dirty
+// cell marked, ghost replicas uncounted) but accounts the closure as Shed:
+// the system, not the requester, withdrew the task. Shedding a task a worker
+// has already committed to is a no-op — the commitment already counted as
+// assigned. It reports whether a task left the open pool.
+func (m *Machine) ShedTask(id int) bool {
+	s, ok := m.open[id]
+	if !ok {
+		return false
+	}
+	delete(m.open, s.ID)
+	delete(m.reserved, s.ID)
+	m.markCell(s.Loc)
+	if m.ghost[s.ID] {
+		// Replica of another shard's task: the owner accounts the shed.
+		delete(m.ghost, s.ID)
+		return true
+	}
+	m.stats.Shed++
 	m.noteClosure(s.ID)
 	return true
 }

@@ -90,6 +90,19 @@ type Config struct {
 	// dispatch sharding). Empty places hotspots anywhere on the grid.
 	HotspotZones []geo.Rect
 
+	// SkewProb is the probability that a task's published timestamp carries
+	// producer clock skew — the chaos regime of a fleet whose devices stamp
+	// events with drifting clocks. A skewed task's Pub shifts by a uniform
+	// draw in [−SkewMax, +SkewMax] (clamped into its generation window)
+	// while Exp stays anchored to the true publication instant, so the
+	// effective validity window the dispatcher sees shrinks or stretches by
+	// up to SkewMax seconds. Keep SkewMax < TaskValid or skewed tasks can
+	// arrive already expired.
+	SkewProb float64
+	// SkewMax bounds the skew in seconds (0 disables skew even when
+	// SkewProb fires).
+	SkewMax float64
+
 	// BreakProb is the probability that a worker's availability window is
 	// interrupted by an unplanned break — the "dynamic worker availability
 	// windows" of the paper's title (Section IV: windows "can change
@@ -386,6 +399,15 @@ func Generate(c Config) *Scenario {
 			t := sampleTime(from, span)
 			loc := sampleLoc(t)
 			task := &core.Task{ID: id, Loc: loc, Pub: t, Exp: t + c.TaskValid, Cell: grid.CellOf(loc)}
+			if c.SkewProb > 0 && c.SkewMax > 0 && rng.Float64() < c.SkewProb {
+				// Producer clock skew: the arrival stamp moves, the true
+				// deadline does not. Clamping keeps the stamp inside the
+				// generation window so the trace's event ordering and the
+				// engine's [T0, T1) clock range stay well-formed.
+				pub := t + (rng.Float64()*2-1)*c.SkewMax
+				pub = math.Max(from, math.Min(pub, from+span-1e-9))
+				task.Pub = pub
+			}
 			id++
 			out = append(out, task)
 			if len(out) >= count {
