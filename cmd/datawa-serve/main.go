@@ -19,7 +19,10 @@
 //	GET  /v1/plan?worker=ID     current schedule
 //	GET  /v1/metrics            snapshot (JSON)
 //	GET  /v1/trace?n=K          epoch trace ring (needs -trace-depth)
-//	GET  /metrics               Prometheus text exposition
+//	GET  /v1/trace.json?n=K     Chrome trace-event JSON of stage spans (needs -span-depth)
+//	GET  /v1/tasks/{id}/history task lifecycle ledger chain (needs -ledger-tasks)
+//	GET  /v1/flight             flight-recorder dumps (needs -flight-depth)
+//	GET  /metrics               Prometheus text exposition (histogram-native)
 //	GET  /healthz               liveness
 //	GET  /debug/pprof/          profiling (needs -pprof)
 //
@@ -80,6 +83,11 @@ func main() {
 		govDwell   = flag.Int("governor-dwell", 0, "SLA governor: minimum epochs between two tier transitions of one shard (0 = default 8)")
 		traceDepth = flag.Int("trace-depth", 0, "epoch trace ring depth served at /v1/trace (0 = off)")
 		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
+
+		spanDepth   = flag.Int("span-depth", 0, "stage-span ring depth in epochs served at /v1/trace.json (0 = off)")
+		ledgerTasks = flag.Int("ledger-tasks", 0, "task lifecycle ledger capacity in chains served at /v1/tasks/{id}/history (0 = off)")
+		flightDepth = flag.Int("flight-depth", 0, "flight recorder: epochs of spans+ledger frozen per anomaly dump, served at /v1/flight; defaults span/ledger recording on (0 = off)")
+		flightDir   = flag.String("flight-dir", "", "directory to write flight-recorder dumps into as they are captured (empty = in-memory ring only)")
 	)
 	flag.Parse()
 
@@ -124,6 +132,13 @@ func main() {
 		}
 	}
 
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	d, err := fw.NewDispatcher(m, datawa.DispatchConfig{
 		Shards: *shards, HaloRadius: *halo, Step: *step, QueueSize: *queue,
 		DisableIncremental: !*increment,
@@ -134,6 +149,10 @@ func main() {
 			Budget: *budget, Window: *govWindow, Dwell: *govDwell,
 		},
 		TraceDepth: *traceDepth,
+		Obs: datawa.ObsConfig{
+			Spans: *spanDepth, LedgerTasks: *ledgerTasks,
+			FlightDepth: *flightDepth, FlightDir: *flightDir,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

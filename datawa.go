@@ -432,6 +432,11 @@ type DispatchConfig struct {
 	// TraceDepth retains the last N per-epoch trace records for the
 	// operability endpoints (0 = off).
 	TraceDepth int
+	// Obs enables the observability core: stage spans (GET /v1/trace.json),
+	// the per-task lifecycle ledger (GET /v1/tasks/{id}/history), and the
+	// flight recorder (GET /v1/flight). The epoch/stage wall-time histograms
+	// on /metrics are always on. See dispatch.ObsConfig.
+	Obs ObsConfig
 }
 
 // AdmissionConfig bounds the dispatcher's ingest path.
@@ -439,6 +444,9 @@ type AdmissionConfig = dispatch.AdmissionConfig
 
 // GovernorConfig parameterizes the SLA epoch governor.
 type GovernorConfig = dispatch.GovernorConfig
+
+// ObsConfig parameterizes the dispatcher's observability core.
+type ObsConfig = dispatch.ObsConfig
 
 // NewDispatcher builds a live dispatch service running the chosen method:
 // the online counterpart of Run, fed by concurrent events instead of a
@@ -461,6 +469,7 @@ func (f *Framework) NewDispatcher(m Method, dc DispatchConfig) (*Dispatcher, err
 		Admission:          dc.Admission,
 		Governor:           dc.Governor,
 		TraceDepth:         dc.TraceDepth,
+		Obs:                dc.Obs,
 		Travel:             f.travel,
 		Parallelism:        f.cfg.Parallelism,
 	}

@@ -352,6 +352,10 @@ func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.M
 	if arch.Overload != nil {
 		cell.Overload = true
 		applyOverload(&dc, arch.Overload)
+		// The lifecycle ledger lets a conservation failure name the exact
+		// leaked or double-counted tasks instead of just the delta. Sized to
+		// retain every chain so the audit covers the full population.
+		dc.Obs.LedgerTasks = len(sc.Tasks) + 1024
 	}
 	d, err := fw.NewDispatcher(m, dc)
 	if err != nil {
@@ -372,9 +376,16 @@ func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.M
 		met = d.Snapshot()
 		terminal := met.Assigned + met.Expired + met.Cancelled + int(met.Shed)
 		if terminal != len(sc.Tasks) || met.Unroutable != 0 {
+			// The ledger audit names the exact tasks behind the delta:
+			// after a full drain every chain must be terminal, so an open
+			// or malformed chain is the leak itself.
+			issues, evictions := d.LedgerAudit()
 			return Cell{}, fmt.Errorf(
-				"task conservation violated: assigned %d + expired %d + cancelled %d + shed %d = %d, want %d submitted (unroutable %d)",
-				met.Assigned, met.Expired, met.Cancelled, met.Shed, terminal, len(sc.Tasks), met.Unroutable)
+				"task conservation violated: assigned %d + expired %d + cancelled %d + shed %d = %d, want %d submitted (unroutable %d); ledger audit (evictions %d): %v",
+				met.Assigned, met.Expired, met.Cancelled, met.Shed, terminal, len(sc.Tasks), met.Unroutable, evictions, issues)
+		}
+		if issues, evictions := d.LedgerAudit(); len(issues) != 0 || evictions != 0 {
+			return Cell{}, fmt.Errorf("lifecycle ledger audit failed on overload cell (evictions %d): %v", evictions, issues)
 		}
 	}
 	runtime.ReadMemStats(&m1)

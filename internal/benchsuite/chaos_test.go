@@ -2,17 +2,21 @@ package benchsuite
 
 import (
 	"encoding/json"
+	"os"
 	"testing"
 
 	"repro"
 	"repro/internal/dispatch"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
 // replayChaos drives one chaos archetype trace through a sharded dispatcher
 // under the archetype's overload profile, quiesces to a full drain, and
-// returns the final snapshot. Conservation and drain are asserted here, so
-// every caller gets the chaos gate for free.
+// returns the final snapshot. Conservation, the lifecycle-ledger chain audit,
+// and drain are asserted here, so every caller gets the chaos gate for free.
+// Set DATAWA_FLIGHT_DIR to also arm the flight recorder and keep its dumps as
+// debugging artifacts (CI uploads them on failure).
 func replayChaos(t *testing.T, arch scenario.Archetype, sc *datawa.Scenario, m datawa.Method, shards int) dispatch.Metrics {
 	t.Helper()
 	fw := datawa.New(datawa.Config{
@@ -22,6 +26,13 @@ func replayChaos(t *testing.T, arch scenario.Archetype, sc *datawa.Scenario, m d
 	})
 	dc := datawa.DispatchConfig{Shards: shards, Step: 2, Now: sc.T0}
 	applyOverload(&dc, arch.Overload)
+	// The ledger must hold every task's chain, or the post-drain audit would
+	// only cover a sample (evictions are asserted zero below).
+	dc.Obs.LedgerTasks = len(sc.Tasks) + 1024
+	if dir := os.Getenv("DATAWA_FLIGHT_DIR"); dir != "" {
+		dc.Obs.FlightDepth = 16
+		dc.Obs.FlightDir = dir
+	}
 	d, err := fw.NewDispatcher(m, dc)
 	if err != nil {
 		t.Fatal(err)
@@ -32,11 +43,41 @@ func replayChaos(t *testing.T, arch scenario.Archetype, sc *datawa.Scenario, m d
 			arch.Name, m, shards, quiesceEpochs, d.Snapshot())
 	}
 	met := d.Snapshot()
+	issues, evictions := d.LedgerAudit()
 	terminal := met.Assigned + met.Expired + met.Cancelled + int(met.Shed)
 	if terminal != len(sc.Tasks) || met.Unroutable != 0 {
-		t.Fatalf("%s %s shards=%d: conservation violated: assigned %d + expired %d + cancelled %d + shed %d = %d, want %d (unroutable %d)",
+		// The ledger names the exact tasks behind the delta: every chain
+		// still open (or malformed) after a full drain is a leaked task.
+		t.Fatalf("%s %s shards=%d: conservation violated: assigned %d + expired %d + cancelled %d + shed %d = %d, want %d (unroutable %d); ledger audit: %v",
 			arch.Name, m, shards, met.Assigned, met.Expired, met.Cancelled, met.Shed,
-			terminal, len(sc.Tasks), met.Unroutable)
+			terminal, len(sc.Tasks), met.Unroutable, issues)
+	}
+	if len(issues) != 0 || evictions != 0 {
+		t.Fatalf("%s %s shards=%d: lifecycle ledger audit failed (evictions %d): %v",
+			arch.Name, m, shards, evictions, issues)
+	}
+	// The chain terminals must reproduce the snapshot counters exactly —
+	// a counter the ledger cannot account for is a double- or un-ledgered
+	// disposal.
+	terms := d.LedgerTerminals()
+	want := map[obs.State]int{}
+	if met.Assigned > 0 {
+		want[obs.Assigned] = met.Assigned
+	}
+	if met.Expired > 0 {
+		want[obs.Expired] = met.Expired
+	}
+	if met.Cancelled > 0 {
+		want[obs.Cancelled] = met.Cancelled
+	}
+	if met.Shed > 0 {
+		want[obs.Shed] = int(met.Shed)
+	}
+	for st, n := range want {
+		if terms[st] != n {
+			t.Fatalf("%s %s shards=%d: ledger has %d %q chains, snapshot counter says %d (full tally %v)",
+				arch.Name, m, shards, terms[st], st, n, terms)
+		}
 	}
 	for _, s := range met.Shards {
 		if s.Tier != 0 {

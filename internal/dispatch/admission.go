@@ -2,8 +2,10 @@ package dispatch
 
 import (
 	"container/heap"
+	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // AdmissionConfig bounds the ingest path. The zero value admits everything —
@@ -54,8 +56,8 @@ func (d *Dispatcher) deferSlackLocked() float64 {
 // deferOrShedLocked disposes of a task the dispatcher cannot admit right now:
 // requeue it one epoch ahead when it still has DeferSlack of validity, shed
 // it otherwise. The task is not in any shard; the caller already removed it
-// or never admitted it.
-func (d *Dispatcher) deferOrShedLocked(s *core.Task, t float64) {
+// or never admitted it. cause names the admission pressure for the ledger.
+func (d *Dispatcher) deferOrShedLocked(s *core.Task, t float64, cause string) {
 	if s.Exp-t >= d.deferSlackLocked() {
 		d.seq++
 		heap.Push(&d.pending, pendingEvent{
@@ -64,9 +66,11 @@ func (d *Dispatcher) deferOrShedLocked(s *core.Task, t float64) {
 			requeued: true,
 		})
 		d.deferred++
+		d.recordTask(s.ID, obs.Deferred, -1, 0, cause)
 		return
 	}
 	d.shedIngest++
+	d.recordTask(s.ID, obs.Shed, -1, 0, cause+"; not enough validity to defer")
 }
 
 // admitOverCapLocked decides what gives way when a submit hits a full open
@@ -75,17 +79,19 @@ func (d *Dispatcher) deferOrShedLocked(s *core.Task, t float64) {
 // the newcomer itself was deferred or shed.
 func (d *Dispatcher) admitOverCapLocked(s *core.Task, t float64) bool {
 	if v, ok := d.peekVictimLocked(); ok && v.exp > s.Exp {
-		d.displaceLocked(v, t)
+		d.displaceLocked(v, t, fmt.Sprintf("displaced by task %d", s.ID))
 		return true
 	}
-	d.deferOrShedLocked(s, t)
+	d.deferOrShedLocked(s, t, "pool full")
 	return false
 }
 
 // displaceLocked removes an open task from its shard (and every ghost
 // replica, and any FTA reservation — ShedTask/DropTask release the pin) and
 // either requeues it one epoch ahead or sheds it, by the DeferSlack rule.
-func (d *Dispatcher) displaceLocked(v victim, t float64) {
+// cause names the newcomer that pushed the victim out, for the ledger.
+func (d *Dispatcher) displaceLocked(v victim, t float64, cause string) {
+	d.recordTask(v.id, obs.Displaced, v.shard, 0, cause)
 	if v.task.Exp-t >= d.deferSlackLocked() {
 		d.shards[v.shard].DropTask(v.id)
 		d.dropGhostsLocked(v.id)
@@ -97,11 +103,13 @@ func (d *Dispatcher) displaceLocked(v victim, t float64) {
 			requeued: true,
 		})
 		d.deferred++
+		d.recordTask(v.id, obs.Deferred, -1, 0, "requeued after displacement")
 		return
 	}
 	d.shards[v.shard].ShedTask(v.id)
 	d.dropGhostsLocked(v.id)
 	delete(d.taskOf, v.id)
+	d.recordTask(v.id, obs.Shed, v.shard, 0, cause+"; not enough validity to defer")
 }
 
 // dropGhostsLocked removes every ghost replica of a task — replicas must

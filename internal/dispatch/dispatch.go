@@ -64,6 +64,7 @@ import (
 	"repro/internal/assign"
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/stream"
 )
@@ -150,6 +151,10 @@ type Config struct {
 	// TraceDepth retains the last N per-epoch trace records for the
 	// operability endpoints (0 = tracing off).
 	TraceDepth int
+	// Obs configures the observability core — stage spans, the per-task
+	// lifecycle ledger, and the flight recorder (see ObsConfig). The epoch
+	// and stage wall-time histograms are always on.
+	Obs ObsConfig
 	// Forecast, when non-nil, injects virtual (predicted) tasks. Forecasting
 	// is global, not per shard: the model sees the full published stream —
 	// per-shard series would dilute demand counts below the materialization
@@ -331,6 +336,9 @@ type Dispatcher struct {
 	preOpen    []int
 	shardWall  []time.Duration
 	trace      *traceRing
+	// ob is the observability core: always non-nil — histograms are always
+	// on; spans/ledger/flight inside it are gated by Config.Obs.
+	ob *obsState
 	// Global forecast state (Config.Forecast only).
 	published    []*core.Task
 	lastForecast float64
@@ -358,6 +366,7 @@ func New(cfg Config) *Dispatcher {
 		clock:  cfg.Now,
 		lat:    newLatencyRing(cfg.LatencyWindow),
 	}
+	d.ob = newObsState(cfg.Obs, cfg.Shards)
 	if cfg.Shards > 1 {
 		d.smap = newShardMap(cfg.Grid, cfg.Shards)
 	}
@@ -416,6 +425,8 @@ func New(cfg Config) *Dispatcher {
 			// Commit logs feed cross-shard arbitration; with one shard or
 			// replication disabled nothing drains them, so leave them off.
 			TrackCommits: cfg.Shards > 1 && cfg.HaloRadius >= 0,
+			// Disposal logs feed the lifecycle ledger; off with it.
+			TrackDisposals: d.ob.ledger != nil,
 		}
 		if incremental {
 			d.inc[i] = assign.NewIncremental(planner, cfg.Grid)
@@ -433,7 +444,7 @@ func New(cfg Config) *Dispatcher {
 	if cfg.TraceDepth > 0 {
 		d.trace = newTraceRing(cfg.TraceDepth)
 	}
-	if d.gov != nil || d.trace != nil {
+	if d.gov != nil || d.trace != nil || d.ob.spans != nil {
 		d.costs = make([]float64, cfg.Shards)
 		d.preWorkers = make([]int, cfg.Shards)
 		d.preOpen = make([]int, cfg.Shards)
@@ -536,6 +547,7 @@ func (d *Dispatcher) replicateLocked(s *core.Task, owner int, t float64) {
 		if d.shards[g].AddGhost(s, t) {
 			d.ghosts[s.ID] = append(d.ghosts[s.ID], g)
 			d.ghostCopies++
+			d.recordTask(s.ID, obs.GhostReplicated, g, 0, "")
 		}
 	}
 }
@@ -605,20 +617,45 @@ func (d *Dispatcher) Serve(ctx context.Context, timeScale float64) error {
 }
 
 // tickLocked is one epoch: drain the queue, apply due events, plan every
-// shard concurrently, advance the clock. Caller holds d.mu.
+// shard concurrently, advance the clock. Caller holds d.mu. Every stage is
+// timed into the observability core's histograms; with span recording on
+// (ObsConfig.Spans) each stage also leaves a span — track 0 for the
+// dispatcher's sequential work, one track per shard for the parallel Steps.
 func (d *Dispatcher) tickLocked() {
 	t := d.clock
-	d.drainLocked()
-	d.applyDueLocked(t)
+	o := d.ob
+	o.epoch, o.now = d.epochs, t
+	o.cur = o.cur[:0]
+	if o.arbitrated != nil {
+		clear(o.arbitrated)
+	}
+	tick0 := time.Now()
+
+	t0 := time.Now()
+	drained := d.drainLocked()
+	o.observe(stageDrain, t0, drained, "", true)
+
+	t0 = time.Now()
+	applied := d.applyDueLocked(t)
+	o.observe(stageAdmission, t0, applied, "", true)
+
+	t0 = time.Now()
+	ranReGhost := false
 	if d.reGhost {
 		d.reGhost = false
 		d.reGhostLocked(t)
+		ranReGhost = true
 	}
-	d.forecastLocked(t)
+	o.observe(stageReGhost, t0, 0, "", ranReGhost)
 
-	// Pool sizes at the planning instant feed the governor's cost function
-	// and the epoch trace; captured before the Step mutates them.
-	instrument := d.gov != nil || d.trace != nil
+	t0 = time.Now()
+	ranForecast, virtuals := d.forecastLocked(t)
+	o.observe(stageForecast, t0, virtuals, "", ranForecast)
+
+	// Pool sizes at the planning instant feed the governor's cost function,
+	// the epoch trace, and the per-shard span details; captured before the
+	// Step mutates them.
+	instrument := d.gov != nil || d.trace != nil || o.spans != nil
 	if instrument {
 		for i, m := range d.shards {
 			d.preWorkers[i] = m.Workers()
@@ -628,16 +665,48 @@ func (d *Dispatcher) tickLocked() {
 	start := time.Now()
 	par.Do(len(d.shards), d.cfg.Parallelism, func(i int) {
 		if instrument {
-			t0 := time.Now()
+			s0 := time.Now()
 			d.shards[i].Step(t)
-			d.shardWall[i] = time.Since(t0)
+			d.shardWall[i] = time.Since(s0)
+			if o.shardSpan != nil {
+				o.shardSpan[i] = obs.Span{
+					Name: "step", Track: 1 + i,
+					StartNS: s0.Sub(o.base).Nanoseconds(),
+					DurNS:   d.shardWall[i].Nanoseconds(),
+				}
+			}
 		} else {
 			d.shards[i].Step(t)
 		}
 	})
-	d.arbitrateLocked(t)
+	o.observe(stageStep, start, len(d.shards), "", true)
+	if o.shardSpan != nil {
+		// Per-shard spans were written into disjoint slots inside the
+		// parallel region; merge them in shard order with deterministic
+		// logical detail (the tier the epoch planned at, pool sizes).
+		for i := range o.shardSpan {
+			sp := o.shardSpan[i]
+			sp.N = d.preOpen[i]
+			if d.tiered != nil {
+				sp.Detail = fmt.Sprintf("workers=%d open=%d tier=%d", d.preWorkers[i], d.preOpen[i], d.tiered[i].tier)
+			} else {
+				sp.Detail = fmt.Sprintf("workers=%d open=%d", d.preWorkers[i], d.preOpen[i])
+			}
+			o.cur = append(o.cur, sp)
+		}
+	}
+
+	t0 = time.Now()
+	rounds := d.arbitrateLocked(t)
+	o.observe(stageArbitration, t0, rounds, "", true)
+	d.drainDisposalsLocked()
+
+	// The latency ring keeps its historical meaning — Step + arbitration
+	// wall, the quantity the BENCH trajectory gates — while the epoch
+	// histogram covers the whole tick including ingest and forecast.
 	wall := time.Since(start)
 	d.lat.add(wall)
+	o.epochHist.Observe(time.Since(tick0).Seconds())
 
 	// Retire routing entries for departed workers and closed tasks so the
 	// maps track the live population, not the service's lifetime history.
@@ -688,6 +757,10 @@ func (d *Dispatcher) tickLocked() {
 		}
 		d.trace.add(rec)
 	}
+	if o.spans != nil {
+		o.spans.Add(obs.EpochSpans{Epoch: o.epoch, Now: t, Spans: append([]obs.Span(nil), o.cur...)})
+	}
+	d.maybeFlightLocked(t)
 	d.epochs++
 	d.clock = t + d.cfg.Step
 	d.nowBits.Store(math.Float64bits(d.clock))
@@ -703,15 +776,19 @@ func (d *Dispatcher) tickLocked() {
 // worker immediately resumes the remainder of its plan, which can produce
 // fresh commits — hence the rounds; each round consumes plan entries, so the
 // loop terminates.
-func (d *Dispatcher) arbitrateLocked(t float64) {
+// It returns the number of arbitration rounds that resolved at least one
+// task.
+func (d *Dispatcher) arbitrateLocked(t float64) int {
 	if !d.haloEnabled() {
-		return
+		return 0
 	}
 	type commit struct {
 		shard int
 		c     stream.Commit
 	}
+	rounds := 0
 	for {
+		round0 := time.Now()
 		byTask := make(map[int][]commit)
 		for i, m := range d.shards {
 			for _, c := range m.TakeCommits() {
@@ -723,8 +800,9 @@ func (d *Dispatcher) arbitrateLocked(t float64) {
 			}
 		}
 		if len(byTask) == 0 {
-			return
+			return rounds
 		}
+		rounds++
 		ids := make([]int, 0, len(byTask))
 		for id := range byTask {
 			ids = append(ids, id)
@@ -769,7 +847,26 @@ func (d *Dispatcher) arbitrateLocked(t float64) {
 			for j, cm := range cms {
 				if j != best {
 					losers = append(losers, cm)
+					// Ledger the losing commits before the terminal
+					// assignment so the chain stays well-formed (nothing
+					// after a terminal state). The retraction itself runs
+					// in phase 2 below.
+					d.recordTask(id, obs.Retracted, cm.shard, cm.c.Worker,
+						fmt.Sprintf("lost arbitration to worker %d", cms[best].c.Worker))
 				}
+			}
+			cause := ""
+			switch {
+			case len(cms) > 1 && owned && winner != owner:
+				cause = fmt.Sprintf("ghost hit; won arbitration (%d commits)", len(cms))
+			case len(cms) > 1:
+				cause = fmt.Sprintf("won arbitration (%d commits)", len(cms))
+			case owned && winner != owner:
+				cause = "ghost hit"
+			}
+			d.recordTask(id, obs.Assigned, winner, cms[best].c.Worker, cause)
+			if d.ob.arbitrated != nil {
+				d.ob.arbitrated[id] = true
 			}
 			// Drop the copies that did not commit: the owner's (when a ghost
 			// won) and every other shard's replica.
@@ -787,11 +884,17 @@ func (d *Dispatcher) arbitrateLocked(t float64) {
 		// Phase 2: retract the losers. Resumed workers can only commit tasks
 		// not arbitrated yet — fresh replicated commits land in the machines'
 		// logs and the next round collects them.
+		retract0 := time.Now()
 		for _, cm := range losers {
 			if d.shards[cm.shard].RetractCommit(cm.c.Worker, cm.c.Task, t) {
 				d.retractions++
 			}
 		}
+		if len(losers) > 0 {
+			d.ob.span("retract", 0, retract0, len(losers), fmt.Sprintf("round=%d", rounds))
+		}
+		d.ob.span("arbitration-round", 0, round0, len(ids),
+			fmt.Sprintf("round=%d tasks=%d losers=%d", rounds, len(ids), len(losers)))
 	}
 }
 
@@ -799,13 +902,14 @@ func (d *Dispatcher) arbitrateLocked(t float64) {
 // cadence and hands each shard the virtuals for the cells it owns. The
 // forecaster sees the complete published stream — mirroring the engine's
 // forecast step — so sharding does not dilute the demand counts the model
-// was trained on.
-func (d *Dispatcher) forecastLocked(t float64) {
+// was trained on. It reports whether a refresh ran and how many virtual
+// tasks it materialized.
+func (d *Dispatcher) forecastLocked(t float64) (bool, int) {
 	if d.cfg.Forecast == nil {
-		return
+		return false, 0
 	}
 	if t-d.lastForecast < d.cfg.Forecast.Span() {
-		return
+		return false, 0
 	}
 	d.lastForecast = t
 	if hb, ok := d.cfg.Forecast.(stream.HistoryBounded); ok {
@@ -820,17 +924,21 @@ func (d *Dispatcher) forecastLocked(t float64) {
 	for i, m := range d.shards {
 		m.SetVirtuals(byShard[i])
 	}
+	return true, len(virtuals)
 }
 
-// drainLocked moves queued events into the pending heap without blocking.
-func (d *Dispatcher) drainLocked() {
+// drainLocked moves queued events into the pending heap without blocking,
+// returning how many it moved.
+func (d *Dispatcher) drainLocked() int {
+	n := 0
 	for {
 		select {
 		case ev := <-d.queue:
 			d.seq++
 			heap.Push(&d.pending, pendingEvent{ev: ev, seq: d.seq})
+			n++
 		default:
-			return
+			return n
 		}
 	}
 }
@@ -842,23 +950,43 @@ func (d *Dispatcher) drainLocked() {
 // a trace replay matches the engine's workers-then-tasks batching); what
 // matters is that events about the *same* entity — an offline followed by a
 // re-online, a submit followed by a cancel — apply in the order produced.
-func (d *Dispatcher) applyDueLocked(t float64) {
-	submits := 0
+func (d *Dispatcher) applyDueLocked(t float64) int {
+	submits, due := 0, 0
 	for len(d.pending) > 0 && d.pending[0].ev.Time <= t {
 		pe := heap.Pop(&d.pending).(pendingEvent)
+		due++
 		if c := d.cfg.Admission.MaxSubmitsPerEpoch; c > 0 && pe.ev.Kind == KindTaskSubmit {
 			// Backpressure on the ingest path: past the per-epoch budget,
 			// due submits defer one epoch (requeued at t+Step, so the loop
 			// will not see them again this tick) or shed when too close to
 			// their deadline for a deferral to ever be served.
 			if submits >= c {
-				d.deferOrShedLocked(pe.ev.Task, t)
+				// The capped submit bypasses applyLocked, so run the
+				// first-application effects (forecast feed, ledger open)
+				// here — without this a capped-then-deferred task would
+				// never reach the forecaster.
+				d.noteSubmitLocked(pe.ev.Task, pe.requeued)
+				d.deferOrShedLocked(pe.ev.Task, t, "submit-cap")
 				continue
 			}
 			submits++
 		}
 		d.applyLocked(pe.ev, t, pe.requeued)
 	}
+	return due
+}
+
+// noteSubmitLocked runs a task submit's first-application side effects: the
+// global forecast feed and the ledger's chain-opening Submitted record. A
+// requeued (deferred/displaced) submit already ran them on first application.
+func (d *Dispatcher) noteSubmitLocked(s *core.Task, requeued bool) {
+	if s == nil || requeued {
+		return
+	}
+	if d.cfg.Forecast != nil {
+		d.published = append(d.published, s)
+	}
+	d.recordTask(s.ID, obs.Submitted, -1, 0, "")
 }
 
 func (d *Dispatcher) applyLocked(ev Event, t float64, requeued bool) {
@@ -894,12 +1022,10 @@ func (d *Dispatcher) applyLocked(ev Event, t float64, requeued bool) {
 		if prev, dup := d.taskOf[ev.Task.ID]; dup && d.shards[prev].HasOpenTask(ev.Task.ID) {
 			break
 		}
-		// The global forecast feed mirrors the machine's own: every submit,
-		// including expired-on-arrival, is demand the model should see. A
-		// requeued (deferred) submit already fed it on first application.
-		if d.cfg.Forecast != nil && !requeued {
-			d.published = append(d.published, ev.Task)
-		}
+		// First-application side effects: the global forecast feed mirrors
+		// the machine's own — every submit, including expired-on-arrival, is
+		// demand the model should see — and the ledger chain opens.
+		d.noteSubmitLocked(ev.Task, requeued)
 		// Admission control: a submit hitting a full open pool displaces
 		// the most deferrable open task, or itself defers or sheds — see
 		// AdmissionConfig. The ≥ comparison is deliberate: at exactly
@@ -914,12 +1040,15 @@ func (d *Dispatcher) applyLocked(ev Event, t float64, requeued bool) {
 		shard := d.shardOf(ev.Task.Loc)
 		if d.shards[shard].AddTask(ev.Task, t) {
 			d.taskOf[ev.Task.ID] = shard
+			d.recordTask(ev.Task.ID, obs.Admitted, shard, 0, "")
 			if d.cfg.Admission.MaxOpenTasks > 0 {
 				heap.Push(&d.victims, victim{exp: ev.Task.Exp, id: ev.Task.ID, task: ev.Task, shard: shard})
 			}
 			if d.haloEnabled() {
 				d.replicateLocked(ev.Task, shard, t)
 			}
+		} else if ev.Task.Exp <= t {
+			d.recordTask(ev.Task.ID, obs.Expired, shard, 0, "expired on arrival")
 		}
 		// Expired-on-arrival still changed state (it counted as expired),
 		// so a rejected admission here is applied either way.
@@ -931,6 +1060,7 @@ func (d *Dispatcher) applyLocked(ev Event, t float64, requeued bool) {
 	case KindTaskCancel:
 		if shard, known := d.taskOf[ev.ID]; known {
 			if ok = d.shards[shard].CancelTask(ev.ID); ok {
+				d.recordTask(ev.ID, obs.Cancelled, shard, 0, "withdrawn by requester")
 				// A withdrawn task must leave every replica pool before the
 				// next planning instant, or a ghost shard could assign it.
 				for _, g := range d.ghosts[ev.ID] {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/obs"
 )
 
 // syntheticIDBase starts server-assigned task ids well above any client-
@@ -25,6 +26,9 @@ const syntheticIDBase = 1 << 30
 //	GET  /v1/plan?worker=ID                                current schedule
 //	GET  /v1/metrics                                       snapshot (JSON)
 //	GET  /v1/trace?n=K                                     epoch trace records
+//	GET  /v1/trace.json?n=K                                Chrome trace-event JSON (spans)
+//	GET  /v1/tasks/{id}/history                            lifecycle ledger chain
+//	GET  /v1/flight                                        flight-recorder dumps
 //	GET  /metrics                                          Prometheus text format
 //	GET  /healthz                                          liveness
 //
@@ -48,6 +52,9 @@ func NewHandler(d *Dispatcher) *Handler {
 	h.mux.HandleFunc("GET /v1/plan", h.plan)
 	h.mux.HandleFunc("GET /v1/metrics", h.metrics)
 	h.mux.HandleFunc("GET /v1/trace", h.traceRecords)
+	h.mux.HandleFunc("GET /v1/trace.json", h.chromeTrace)
+	h.mux.HandleFunc("GET /v1/tasks/{id}/history", h.taskHistory)
+	h.mux.HandleFunc("GET /v1/flight", h.flight)
 	h.mux.HandleFunc("GET /metrics", h.prometheus)
 	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -207,6 +214,56 @@ func (h *Handler) traceRecords(w http.ResponseWriter, r *http.Request) {
 		tr = []EpochTrace{}
 	}
 	writeJSON(w, http.StatusOK, tr)
+}
+
+// chromeTrace serves the stage-span ring as Chrome trace-event JSON — load
+// the response in chrome://tracing or Perfetto. Empty (but valid) without
+// ObsConfig.Spans; ?n=K limits it to the K most recent epochs.
+func (h *Handler) chromeTrace(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "n query parameter must be a non-negative integer")
+			return
+		}
+		n = v
+	}
+	raw, err := h.d.ChromeTrace(n)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(raw)
+}
+
+// taskHistory serves one task's lifecycle ledger chain: every disposal
+// transition with its cause, the machine-readable answer to "why was task X
+// not served". 404 when the ledger is off, never saw the id, or evicted it.
+func (h *Handler) taskHistory(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "task id must be an integer")
+		return
+	}
+	th, ok := h.d.TaskHistory(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no ledger chain for this task (ledger off, id unknown, or chain evicted)")
+		return
+	}
+	writeJSON(w, http.StatusOK, th)
+}
+
+// flight serves the retained flight-recorder dumps, oldest first. Empty
+// without ObsConfig.FlightDepth.
+func (h *Handler) flight(w http.ResponseWriter, _ *http.Request) {
+	dumps := h.d.FlightDumps()
+	if dumps == nil {
+		dumps = []obs.FlightDump{}
+	}
+	writeJSON(w, http.StatusOK, dumps)
 }
 
 // finite rejects NaN and ±Inf inputs before they reach shard routing: a

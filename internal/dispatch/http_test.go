@@ -271,7 +271,13 @@ func TestHTTPPrometheusExposition(t *testing.T) {
 		"# TYPE datawa_shard_tier gauge",
 		`datawa_shard_tier{shard="0"} 0`,
 		`datawa_shard_shed_total{shard="0"} 1`,
-		`datawa_epoch_latency_seconds{quantile="0.95"}`,
+		"# HELP datawa_shard_shed_total Tasks terminally shed from this shard's open pool by admission control.",
+		"# TYPE datawa_epoch_wall_seconds histogram",
+		`datawa_epoch_wall_seconds_bucket{le="+Inf"} 5`,
+		"datawa_epoch_wall_seconds_count 5",
+		"# TYPE datawa_stage_wall_seconds histogram",
+		`datawa_stage_wall_seconds_bucket{stage="step",le="+Inf"} 5`,
+		`datawa_stage_wall_seconds_count{stage="arbitration"} 5`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition lacks %q", want)

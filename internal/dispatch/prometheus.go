@@ -6,18 +6,28 @@ import (
 	"strings"
 )
 
+// escapeHelp escapes a HELP string per the text exposition format (version
+// 0.0.4): backslashes and line feeds must be escaped or a multi-line help
+// text would corrupt the stream.
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
 // prometheus serves the snapshot in the Prometheus text exposition format
 // (version 0.0.4) — hand-rolled, since the repo deliberately has no module
 // dependencies. Counter/gauge typing follows the snapshot semantics:
-// lifetime totals are counters, point-in-time pool sizes and tiers gauges.
+// lifetime totals are counters, point-in-time pool sizes and tiers gauges,
+// and the epoch/stage wall-time distributions are native histograms with
+// log-spaced buckets (real _bucket/_sum/_count series, not quantile gauges).
 func (h *Handler) prometheus(w http.ResponseWriter, _ *http.Request) {
 	m := h.d.Snapshot()
+	epochHist, stageHists := h.d.Histograms()
 	var b strings.Builder
 	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, escapeHelp(help), name, name, v)
 	}
 	counter := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, escapeHelp(help), name, name, v)
 	}
 	gauge("datawa_now_seconds", "Next epoch instant on the logical clock.", m.Now)
 	counter("datawa_epochs_total", "Planning epochs executed.", float64(m.Epochs))
@@ -44,11 +54,14 @@ func (h *Handler) prometheus(w http.ResponseWriter, _ *http.Request) {
 	gauge("datawa_worst_tier", "Deepest ladder tier any shard reached.", float64(m.WorstTier))
 	counter("datawa_plan_calls_total", "Planner invocations.", float64(m.PlanCalls))
 	counter("datawa_plan_time_seconds_total", "Wall time spent inside planners.", m.PlanTime.Seconds())
-	fmt.Fprintf(&b, "# HELP datawa_epoch_latency_seconds Epoch wall-latency percentiles over the recent window.\n")
-	fmt.Fprintf(&b, "# TYPE datawa_epoch_latency_seconds gauge\n")
-	fmt.Fprintf(&b, "datawa_epoch_latency_seconds{quantile=\"0.5\"} %g\n", m.EpochP50.Seconds())
-	fmt.Fprintf(&b, "datawa_epoch_latency_seconds{quantile=\"0.95\"} %g\n", m.EpochP95.Seconds())
-	fmt.Fprintf(&b, "datawa_epoch_latency_seconds{quantile=\"0.99\"} %g\n", m.EpochP99.Seconds())
+	fmt.Fprintf(&b, "# HELP datawa_epoch_wall_seconds Full epoch wall time (drain through arbitration), log-bucketed.\n")
+	fmt.Fprintf(&b, "# TYPE datawa_epoch_wall_seconds histogram\n")
+	epochHist.AppendProm(&b, "datawa_epoch_wall_seconds", "")
+	fmt.Fprintf(&b, "# HELP datawa_stage_wall_seconds Per-stage epoch wall time, log-bucketed; every stage observes once per epoch.\n")
+	fmt.Fprintf(&b, "# TYPE datawa_stage_wall_seconds histogram\n")
+	for _, sh := range stageHists {
+		sh.Data.AppendProm(&b, "datawa_stage_wall_seconds", fmt.Sprintf("stage=%q", sh.Stage))
+	}
 	fmt.Fprintf(&b, "# HELP datawa_shard_tier Current degradation-ladder tier per shard (0 = full planner).\n")
 	fmt.Fprintf(&b, "# TYPE datawa_shard_tier gauge\n")
 	for _, s := range m.Shards {
@@ -64,7 +77,7 @@ func (h *Handler) prometheus(w http.ResponseWriter, _ *http.Request) {
 	for _, s := range m.Shards {
 		fmt.Fprintf(&b, "datawa_shard_open_tasks{shard=\"%d\"} %d\n", s.Shard, s.Open)
 	}
-	fmt.Fprintf(&b, "# HELP datawa_shard_shed_total Admission displacements per shard.\n")
+	fmt.Fprintf(&b, "# HELP datawa_shard_shed_total Tasks terminally shed from this shard's open pool by admission control.\n")
 	fmt.Fprintf(&b, "# TYPE datawa_shard_shed_total counter\n")
 	for _, s := range m.Shards {
 		fmt.Fprintf(&b, "datawa_shard_shed_total{shard=\"%d\"} %d\n", s.Shard, s.Stats.Shed)

@@ -1,0 +1,56 @@
+package obs
+
+import "encoding/json"
+
+// chromeEvent is one Chrome trace-event record. Only the subset the trace
+// viewer needs: "M" metadata events name the tracks, "X" complete events
+// carry the spans (ts/dur in microseconds; nesting on a track is inferred
+// from containment).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// ChromeTrace renders epoch span sets as Chrome trace-event JSON — the
+// format chrome://tracing and Perfetto load directly. tracks names the span
+// Track indices ("dispatcher", "shard 0", …); per-shard planner Steps land
+// on their own tracks and render as parallel lanes. Logical coordinates
+// (epoch, now, n, detail) ride along in each event's args.
+func ChromeTrace(epochs []EpochSpans, tracks []string) ([]byte, error) {
+	events := make([]chromeEvent, 0, len(tracks)+len(epochs)*8)
+	for i, name := range tracks {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: i,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, e := range epochs {
+		for _, s := range e.Spans {
+			args := map[string]any{"epoch": e.Epoch, "now": e.Now}
+			if s.N != 0 {
+				args["n"] = s.N
+			}
+			if s.Detail != "" {
+				args["detail"] = s.Detail
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name, Ph: "X",
+				TS:  float64(s.StartNS) / 1e3,
+				Dur: float64(s.DurNS) / 1e3,
+				PID: 1, TID: s.Track,
+				Args: args,
+			})
+		}
+	}
+	return json.Marshal(chromeTrace{DisplayTimeUnit: "ms", TraceEvents: events})
+}

@@ -1,0 +1,52 @@
+package obs
+
+// FlightDump is one flight-recorder capture: the anomaly that triggered it
+// plus the last window of stage spans and every ledger chain active in that
+// window — the evidence a post-mortem needs, frozen at the moment the
+// anomaly was observed instead of reconstructed after the fact.
+type FlightDump struct {
+	// Reason names the trigger: "governor-demotion", "shed",
+	// "over-budget-epoch" or "ledger-violation".
+	Reason string `json:"reason"`
+	// Epoch and Now locate the trigger on the logical clock.
+	Epoch int     `json:"epoch"`
+	Now   float64 `json:"now"`
+	// Spans holds the trailing window of epoch span sets, oldest first;
+	// Tasks the ledger chains with activity inside that window.
+	Spans []EpochSpans  `json:"spans"`
+	Tasks []TaskHistory `json:"tasks"`
+}
+
+// FlightRing keeps the most recent flight dumps.
+type FlightRing struct {
+	buf  []FlightDump
+	next int
+	full bool
+}
+
+// NewFlightRing builds a ring retaining n dumps (n ≥ 1).
+func NewFlightRing(n int) *FlightRing {
+	if n < 1 {
+		n = 1
+	}
+	return &FlightRing{buf: make([]FlightDump, n)}
+}
+
+// Add appends a dump, evicting the oldest once full.
+func (r *FlightRing) Add(d FlightDump) {
+	r.buf[r.next] = d
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// All returns the retained dumps, oldest first.
+func (r *FlightRing) All() []FlightDump {
+	var out []FlightDump
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}

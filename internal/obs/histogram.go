@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a log-bucketed latency histogram in the Prometheus shape:
+// fixed upper bounds, cumulative export, a sum and a count. Buckets are
+// log-spaced so one histogram covers microsecond planner steps and
+// multi-second overload epochs with bounded relative error; exact quantiles
+// stay with the dispatcher's latency ring — the histogram is the wire format,
+// not the SLA arbiter.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []uint64  // len(bounds)+1; last is the overflow bucket
+	sum    float64
+	count  uint64
+}
+
+// NewLogHistogram builds a histogram with perDecade log-spaced bucket bounds
+// per factor of 10, spanning [lo, hi] (both > 0, hi > lo).
+func NewLogHistogram(lo, hi float64, perDecade int) *Histogram {
+	if !(lo > 0) || !(hi > lo) || perDecade < 1 {
+		panic("obs: NewLogHistogram needs 0 < lo < hi and perDecade >= 1")
+	}
+	var bounds []float64
+	for i := 0; ; i++ {
+		b := lo * math.Pow(10, float64(i)/float64(perDecade))
+		if b > hi*1.0000001 {
+			break
+		}
+		bounds = append(bounds, b)
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// NewLatencyHistogram is the dispatcher's stock shape: 1µs to 100s, five
+// buckets per decade (relative error under ~60% within a bucket, 41 buckets).
+func NewLatencyHistogram() *Histogram { return NewLogHistogram(1e-6, 100, 5) }
+
+// Observe records one sample (negative samples clamp to zero).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts the per-bucket (not
+	// cumulative) sample counts, one longer than Bounds — the last entry is
+	// the +Inf overflow bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// AppendProm writes the snapshot as Prometheus text-exposition series —
+// cumulative `name_bucket{...,le="..."}` lines ending at le="+Inf", then
+// name_sum and name_count. labels is either empty or a rendered label list
+// without braces (`stage="drain"`); the caller writes HELP/TYPE once per
+// metric family, since one family can carry several label sets.
+func (s HistogramSnapshot) AppendProm(b *strings.Builder, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(b, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, bound, cum)
+	}
+	if len(s.Counts) > 0 {
+		cum += s.Counts[len(s.Counts)-1]
+	}
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(b, "%s_sum %g\n%s_count %d\n", name, s.Sum, name, s.Count)
+	} else {
+		fmt.Fprintf(b, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, s.Sum, name, labels, s.Count)
+	}
+}

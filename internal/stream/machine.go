@@ -36,6 +36,13 @@ type MachineConfig struct {
 	// dispatcher's cross-shard commit arbitration. Off for replay engines,
 	// which have no competing machines.
 	TrackCommits bool
+	// TrackDisposals makes the machine log every Step-internal closure of an
+	// owned task — assignments and expiries, the two dispositions that happen
+	// inside Step rather than through a dispatcher-called method — for
+	// collection via TakeDisposals. This feeds the dispatcher's per-task
+	// lifecycle ledger; ghost replicas are never logged (their lifecycle is
+	// accounted by the owning shard). Off by default.
+	TrackDisposals bool
 	// DirtyGrid, when non-degenerate, makes the machine track the set of
 	// grid cells touched by pool changes between planning instants — task
 	// arrivals, expiries, cancels, ghost routing and drops, commits, worker
@@ -142,6 +149,8 @@ type Machine struct {
 	closed   []int
 	// Commit log, populated only when cfg.TrackCommits is set.
 	commits []Commit
+	// Disposal log, populated only when cfg.TrackDisposals is set.
+	disposals []Disposal
 	// Dirty-cell tracking (MachineConfig.DirtyGrid): dp is the planner's
 	// incremental interface when active, dirty the cells touched since the
 	// last planner invocation. The set is cleared only after a planner call —
@@ -158,6 +167,27 @@ type Commit struct {
 	// Arrive is the worker's arrival instant at the task — the deterministic
 	// quality signal arbitration prefers (earlier arrival wins).
 	Arrive float64
+}
+
+// Disposal records one Step-internal closure of an owned task: an assignment
+// (Assigned true, Worker the committing worker) or an expiry (Assigned false,
+// Worker −1). Cancels and sheds are not disposals — they arrive through
+// dispatcher-called methods, which the dispatcher ledgers directly.
+type Disposal struct {
+	Task     int
+	Worker   int
+	Assigned bool
+}
+
+// TakeDisposals returns and clears the owned-task closures logged since the
+// last call. Empty unless MachineConfig.TrackDisposals is set. A disposal
+// for a commitment later undone by RetractCommit stays in the log; drivers
+// that retract (the sharded dispatcher's arbitration) know the losers and
+// skip their stale entries.
+func (m *Machine) TakeDisposals() []Disposal {
+	out := m.disposals
+	m.disposals = nil
+	return out
 }
 
 // NewMachine returns an empty machine.
@@ -552,6 +582,9 @@ func (m *Machine) evict(t float64) {
 			}
 			m.stats.Expired++
 			m.noteClosure(s.ID)
+			if m.cfg.TrackDisposals {
+				m.disposals = append(m.disposals, Disposal{Task: s.ID, Worker: -1})
+			}
 			continue
 		}
 		keptTasks = append(keptTasks, s)
@@ -787,6 +820,9 @@ func (m *Machine) executeWorker(ws *workerState, t float64) {
 			delete(m.ghost, head.ID)
 		} else {
 			m.noteClosure(head.ID)
+			if m.cfg.TrackDisposals {
+				m.disposals = append(m.disposals, Disposal{Task: head.ID, Worker: ws.w.ID, Assigned: true})
+			}
 		}
 		if m.cfg.TrackCommits {
 			m.commits = append(m.commits, Commit{Task: head.ID, Worker: ws.w.ID, Arrive: arrive})
