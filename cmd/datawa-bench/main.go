@@ -7,11 +7,11 @@
 // perf-sensitive PRs regenerate and CI gates on (see docs/BENCHMARKS.md):
 //
 //	datawa-bench -suite -json
-//	datawa-bench -suite -scales 1,5,20 -methods Greedy,DTA -json=BENCH_6.json
-//	datawa-bench -suite -scales 1 -json=BENCH_ci.json -compare BENCH_6.json
+//	datawa-bench -suite -scales 1,5,20 -methods Greedy,DTA -json=BENCH_8.json
+//	datawa-bench -suite -scales 1 -transports json,stream -json=BENCH_ci.json -compare BENCH_8.json
 //	datawa-bench -suite -scales 1 -shards 4 -max-gap 0.01 -json=-
 //	datawa-bench -suite -incremental=false -json=BENCH_full_replan.json
-//	datawa-bench -validate BENCH_6.json
+//	datawa-bench -validate BENCH_8.json
 //
 // Experiment mode (-run) regenerates the tables and figures of the paper's
 // evaluation (Section V) on the synthetic Yueche/DiDi workloads and prints
@@ -49,7 +49,7 @@ import (
 // suiteJSONDefault is where -suite writes its report when -json gives no
 // explicit path. The number tracks the PR that last regenerated the
 // trajectory snapshot at the repo root.
-const suiteJSONDefault = "BENCH_6.json"
+const suiteJSONDefault = "BENCH_8.json"
 
 // compareTolerance is the relative assignment-rate drop -compare accepts
 // before failing (docs/BENCHMARKS.md: perf-sensitive PRs regenerate the
@@ -71,18 +71,19 @@ func main() {
 		points   = flag.Int("points", 0, "experiment mode: override sweep points per parameter (0 = all)")
 		parallel = flag.Int("parallelism", 0, "planner fan-out per instant (0 = one goroutine per CPU, 1 = serial)")
 
-		suite     = flag.Bool("suite", false, "run the scenario-atlas benchmark suite")
-		scenarios = flag.String("scenarios", "", "suite mode: comma-separated archetype names (default: all registered)")
-		scales    = flag.String("scales", "1,5", "suite mode: comma-separated density multipliers")
-		methods   = flag.String("methods", "Greedy,DTA", "suite mode: comma-separated assignment methods")
-		shards    = flag.Int("shards", 2, "suite mode: live-path dispatcher shard count")
-		halo      = flag.Float64("halo", 0, "suite mode: cross-shard handoff radius in km (0 = auto from worker reach, negative = disable)")
-		increment = flag.Bool("incremental", true, "suite mode: live-path incremental epoch replanning (plans are identical either way)")
-		step      = flag.Float64("step", 2, "suite mode: planning epoch length in seconds")
-		compare   = flag.String("compare", "", "suite mode: baseline BENCH_*.json; fail on >10% assignment-rate drops or epoch-p95 growth beyond -p95-tolerance")
-		p95Tol    = flag.Float64("p95-tolerance", compareP95Tolerance, "suite mode: relative live epoch-p95 growth -compare accepts (0 disables the latency gate; cross-host nightlies run wider than the default)")
-		maxGap    = flag.Float64("max-gap", -1, "suite mode: fail if any cell's fidelity gap (offline − live assignment rate) exceeds this (e.g. 0.01 = 1pp; negative = off)")
-		validate  = flag.String("validate", "", "validate a BENCH_*.json suite report against the schema and exit")
+		suite      = flag.Bool("suite", false, "run the scenario-atlas benchmark suite")
+		scenarios  = flag.String("scenarios", "", "suite mode: comma-separated archetype names (default: all registered)")
+		scales     = flag.String("scales", "1,5", "suite mode: comma-separated density multipliers")
+		methods    = flag.String("methods", "Greedy,DTA", "suite mode: comma-separated assignment methods")
+		transports = flag.String("transports", "json,stream", "suite mode: comma-separated live-path ingest transports (json = per-event, stream = batched binary wire frames)")
+		shards     = flag.Int("shards", 2, "suite mode: live-path dispatcher shard count")
+		halo       = flag.Float64("halo", 0, "suite mode: cross-shard handoff radius in km (0 = auto from worker reach, negative = disable)")
+		increment  = flag.Bool("incremental", true, "suite mode: live-path incremental epoch replanning (plans are identical either way)")
+		step       = flag.Float64("step", 2, "suite mode: planning epoch length in seconds")
+		compare    = flag.String("compare", "", "suite mode: baseline BENCH_*.json; fail on >10% assignment-rate drops or epoch-p95 growth beyond -p95-tolerance")
+		p95Tol     = flag.Float64("p95-tolerance", compareP95Tolerance, "suite mode: relative live epoch-p95 growth -compare accepts (0 disables the latency gate; cross-host nightlies run wider than the default)")
+		maxGap     = flag.Float64("max-gap", -1, "suite mode: fail if any cell's fidelity gap (offline − live assignment rate) exceeds this (e.g. 0.01 = 1pp; negative = off)")
+		validate   = flag.String("validate", "", "validate a BENCH_*.json suite report against the schema and exit")
 	)
 	flag.Var(&jsonPath, "json", "write machine-readable results (optional FILE or =FILE; bare flag picks the default path, \"-\" = stdout)")
 	// -json takes its value attached (-json=FILE) or as the immediately
@@ -121,7 +122,8 @@ func main() {
 	case *suite:
 		runSuite(suiteOptions{
 			scenarios: *scenarios, scales: *scales, methods: *methods,
-			shards: *shards, halo: *halo, step: *step, parallel: *parallel,
+			transports: *transports,
+			shards:     *shards, halo: *halo, step: *step, parallel: *parallel,
 			incremental: *increment, p95Tol: *p95Tol,
 			jsonPath: jsonPath.resolve(suiteJSONDefault), compare: *compare, maxGap: *maxGap,
 		})
@@ -142,6 +144,7 @@ func runValidate(path string) {
 // suiteOptions carries the suite-mode flag values.
 type suiteOptions struct {
 	scenarios, scales, methods string
+	transports                 string
 	shards                     int
 	halo                       float64
 	step                       float64
@@ -158,6 +161,7 @@ func runSuite(so suiteOptions) {
 	opts := benchsuite.Options{
 		Scenarios:          splitList(so.scenarios),
 		Methods:            splitList(so.methods),
+		Transports:         splitList(so.transports),
 		Shards:             so.shards,
 		HaloRadius:         so.halo,
 		Step:               so.step,

@@ -7,6 +7,7 @@
 package assign
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/core"
@@ -96,8 +97,15 @@ type Planner interface {
 // and hands each the maximal valid task sequence from the still-unassigned
 // tasks, until tasks or workers run out. No dependency reasoning, no
 // look-ahead.
+//
+// A Greedy carries reusable per-instant scratch (planners are per-shard and
+// single-goroutine), so steady-state Plan calls allocate only the plan.
 type Greedy struct {
 	Opts Options
+
+	ws    []*core.Worker
+	avail taskSet
+	sc    wds.Scratch
 }
 
 // Name implements Planner.
@@ -106,18 +114,19 @@ func (g *Greedy) Name() string { return "Greedy" }
 // Plan implements Planner.
 func (g *Greedy) Plan(workers []*core.Worker, tasks []*core.Task, now float64) core.Plan {
 	o := g.Opts.WithDefaults()
-	ws := append([]*core.Worker(nil), workers...)
-	sort.Slice(ws, func(i, j int) bool { return ws[i].ID < ws[j].ID })
-	avail := newTaskSet(tasks)
+	ws := append(g.ws[:0], workers...)
+	g.ws = ws
+	slices.SortFunc(ws, func(a, b *core.Worker) int { return a.ID - b.ID })
+	g.avail.reset(tasks)
 	var plan core.Plan
 	for _, w := range ws {
-		rs := wds.ReachableTasks(w, avail.slice(), now, o.WDS)
-		qs := wds.MaximalValidSequences(w, rs, now, o.WDS)
+		rs := g.sc.ReachableTasks(w, g.avail.slice(), now, o.WDS)
+		qs := g.sc.MaximalValidSequences(w, rs, now, o.WDS)
 		if len(qs) == 0 {
 			continue
 		}
 		q := qs[0] // longest, then earliest completion: the maximal set
-		avail.removeSeq(q)
+		g.avail.removeSeq(q)
 		plan = append(plan, core.Assignment{Worker: w, Seq: q})
 	}
 	return plan
@@ -142,6 +151,17 @@ type Search struct {
 	// NodesLastPlan reports the exact-search nodes expended by the most
 	// recent Plan call, for diagnostics and efficiency experiments.
 	NodesLastPlan int
+
+	// Per-instant scratch (a Search serves one shard from one goroutine, but
+	// fans tree searches out internally — runs is indexed by the worker
+	// goroutine, everything else stays on the driving goroutine).
+	sepScratch wds.Separator
+	runs       []searchRun
+	treeOf     map[int]int32
+	taskFlat   []*core.Task
+	taskOff    []int32
+	taskFill   []int32
+	treeTasks  [][]*core.Task
 }
 
 // Name implements Planner.
@@ -175,7 +195,7 @@ func (s *Search) Plan(workers []*core.Worker, tasks []*core.Task, now float64) c
 	if wdsOpts.Parallelism == 0 {
 		wdsOpts.Parallelism = o.Parallelism
 	}
-	sep := wds.Separate(workers, tasks, now, wdsOpts)
+	sep := s.sepScratch.Separate(workers, tasks, now, wdsOpts)
 	forest := sep.Forest
 	if o.Flat {
 		// Ablation: collapse each tree into a single node holding every
@@ -198,20 +218,50 @@ func (s *Search) Plan(workers []*core.Worker, tasks []*core.Task, now float64) c
 	// state (stateFor → taskSet.slice) to the tree's own tasks, so TVF
 	// features and samples cannot depend on sibling completion order — a
 	// deliberate change from draining one global pool across the forest.
-	treeOf := make(map[int]int)
+	if s.treeOf == nil {
+		s.treeOf = make(map[int]int32)
+	} else {
+		clear(s.treeOf)
+	}
 	for i, root := range forest {
-		for _, w := range root.AllWorkers() {
+		root.EachWorker(func(w *core.Worker) {
 			for _, t := range sep.Reachable[w.ID] {
-				treeOf[t.ID] = i
+				s.treeOf[t.ID] = int32(i)
 			}
-		}
+		})
 	}
-	treeTasks := make([][]*core.Task, len(forest))
+	// Bucket the pool per tree into one flat buffer: count, prefix-sum, fill.
+	// The per-tree views stay in pool order, exactly as per-tree appends
+	// would produce, without a slice allocation per tree.
+	off := s.taskOff[:0]
+	for i := 0; i <= len(forest); i++ {
+		off = append(off, 0)
+	}
 	for _, t := range tasks {
-		if i, ok := treeOf[t.ID]; ok {
-			treeTasks[i] = append(treeTasks[i], t)
+		if i, ok := s.treeOf[t.ID]; ok {
+			off[i+1]++
 		}
 	}
+	for i := 0; i < len(forest); i++ {
+		off[i+1] += off[i]
+	}
+	s.taskOff = off
+	fill := append(s.taskFill[:0], off[:len(forest)]...)
+	s.taskFill = fill
+	n := int(off[len(forest)])
+	flat := slices.Grow(s.taskFlat[:0], n)[:n]
+	for _, t := range tasks {
+		if i, ok := s.treeOf[t.ID]; ok {
+			flat[fill[i]] = t
+			fill[i]++
+		}
+	}
+	s.taskFlat = flat
+	treeTasks := s.treeTasks[:0]
+	for i := 0; i < len(forest); i++ {
+		treeTasks = append(treeTasks, flat[off[i]:off[i+1]])
+	}
+	s.treeTasks = treeTasks
 
 	type treeResult struct {
 		plan    core.Plan
@@ -219,16 +269,21 @@ func (s *Search) Plan(workers []*core.Worker, tasks []*core.Task, now float64) c
 		samples []tvf.Sample
 	}
 	results := make([]treeResult, len(forest))
-	par.Do(len(forest), o.Parallelism, func(i int) {
+	for len(s.runs) < par.Workers(o.Parallelism, len(forest)) {
+		s.runs = append(s.runs, searchRun{})
+	}
+	par.DoWorker(len(forest), o.Parallelism, func(g, i int) {
 		root := forest[i]
-		run := &searchRun{
-			opts:    o,
-			sep:     sep,
-			now:     now,
-			model:   s.Model,
-			collect: s.Collect,
-			ts:      newTaskSet(treeTasks[i]),
-			seqIdx:  make(map[int][][]int32),
+		run := &s.runs[g]
+		run.opts, run.sep, run.now = o, sep, now
+		run.model, run.collect = s.Model, s.Collect
+		run.nodes = 0
+		run.samples = nil // escapes into results; never reuse the backing
+		run.ts.reset(treeTasks[i])
+		if run.seqIdx == nil {
+			run.seqIdx = make(map[int][][]int32)
+		} else {
+			clear(run.seqIdx)
 		}
 		if s.Model != nil {
 			results[i].plan = run.searchTVF(root, root.Workers)
@@ -281,8 +336,9 @@ type searchRun struct {
 	collect bool
 	samples []tvf.Sample
 	// ts is the tree's availability set; seqIdx caches, per worker id, each
-	// sequence of Q_w as indices into ts (built on first use).
-	ts     *taskSet
+	// sequence of Q_w as indices into ts (built on first use). Both are
+	// reset-reused across the trees a worker goroutine serves.
+	ts     taskSet
 	seqIdx map[int][][]int32
 }
 
@@ -511,7 +567,21 @@ type taskSet struct {
 }
 
 func newTaskSet(tasks []*core.Task) *taskSet {
-	ts := &taskSet{byID: make(map[int]int32, len(tasks))}
+	ts := &taskSet{}
+	ts.reset(tasks)
+	return ts
+}
+
+// reset reinitializes the set over tasks, reusing the map and slice capacity
+// of previous instants. An empty pool (the common case on quiet archetypes)
+// touches no map at all: reads on the nil byID of a zero taskSet are fine.
+func (ts *taskSet) reset(tasks []*core.Task) {
+	if ts.byID != nil {
+		clear(ts.byID)
+	} else if len(tasks) > 0 {
+		ts.byID = make(map[int]int32, len(tasks))
+	}
+	ts.order = ts.order[:0]
 	for _, t := range tasks {
 		if _, dup := ts.byID[t.ID]; dup {
 			continue
@@ -519,12 +589,12 @@ func newTaskSet(tasks []*core.Task) *taskSet {
 		ts.byID[t.ID] = int32(len(ts.order))
 		ts.order = append(ts.order, t)
 	}
-	ts.avail = make([]bool, len(ts.order))
-	for i := range ts.avail {
-		ts.avail[i] = true
+	ts.avail = ts.avail[:0]
+	for range ts.order {
+		ts.avail = append(ts.avail, true)
 	}
 	ts.dirty = true
-	return ts
+	ts.cache = ts.cache[:0]
 }
 
 func (ts *taskSet) has(id int) bool {

@@ -1,7 +1,7 @@
 package assign
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/geo"
@@ -28,12 +28,21 @@ type DirtyPlanner interface {
 // (stream.Machine) and the partition side (Incremental) both use this
 // function, so an invalidation always covers the membership it must refresh.
 func WorkerCells(g geo.Grid, p geo.Point, reach float64) []int {
-	cells := spatial.CellsInDisk(g, g.Region.Clamp(p), reach)
-	if len(cells) == 0 {
+	return AppendWorkerCells(nil, g, p, reach)
+}
+
+// AppendWorkerCells is WorkerCells appending into dst, so the per-worker
+// loops that run every planning instant (partition below, dirty-disk marking
+// in stream.Machine) can reuse one buffer instead of allocating a slice per
+// worker per instant.
+func AppendWorkerCells(dst []int, g geo.Grid, p geo.Point, reach float64) []int {
+	n := len(dst)
+	dst = spatial.AppendCellsInDisk(dst, g, g.Region.Clamp(p), reach)
+	if len(dst) == n {
 		// Negative or NaN reach: fall back to the worker's own cell.
-		return []int{g.CellOf(p)}
+		dst = append(dst, g.CellOf(p))
 	}
-	return cells
+	return dst
 }
 
 // IncrementalStats counts an Incremental planner's reuse behavior. Counters
@@ -96,6 +105,21 @@ type Incremental struct {
 	parent []int32
 	gen    []int32
 	curGen int32
+
+	// Per-instant scratch, reused so a steady-state PlanDirty allocates only
+	// the component list it caches. free recycles planComponents dropped from
+	// the previous cache (their member/cell slices keep their capacity).
+	free     []*planComponent
+	wflat    []int   // worker reach cells, all workers back to back
+	woff     []int32 // wflat offsets; worker i owns wflat[woff[i]:woff[i+1]]
+	tcells   []int32
+	assigned map[int]bool
+	byRoot   map[int32]int32
+	retained []*planComponent
+	skipW    map[int]bool
+	skipT    map[int]bool
+	rw       []*core.Worker
+	rt       []*core.Task
 }
 
 // NewIncremental wraps full with dirty-region replanning over the given
@@ -137,33 +161,40 @@ func (inc *Incremental) PlanDirty(workers []*core.Worker, tasks []*core.Task, no
 
 	// A cached component is reusable when it assigned nothing last instant
 	// and no invalidation touched its cells since.
-	var retained []*planComponent
-	var skipW, skipT map[int]bool
+	retained := inc.retained[:0]
+	if inc.skipW == nil {
+		inc.skipW = make(map[int]bool)
+		inc.skipT = make(map[int]bool)
+	} else {
+		clear(inc.skipW)
+		clear(inc.skipT)
+	}
 	for _, c := range inc.comps {
 		if c.empty && !c.touched(dirty) {
-			if skipW == nil {
-				skipW = make(map[int]bool)
-				skipT = make(map[int]bool)
-			}
 			retained = append(retained, c)
 			for _, id := range c.workers {
-				skipW[id] = true
+				inc.skipW[id] = true
 			}
 			for _, id := range c.tasks {
-				skipT[id] = true
+				inc.skipT[id] = true
 			}
 		}
 	}
+	inc.retained = retained
 	if len(retained) == 0 {
 		return inc.fullPlan(workers, tasks, now)
 	}
 
-	rw := make([]*core.Worker, 0, len(workers))
+	// rw/rt are scratch: every planner consumes its worker and task slices
+	// within the Plan call (copying what it keeps), so reusing the backing
+	// arrays across instants is safe.
+	rw := inc.rw[:0]
 	for _, w := range workers {
-		if !skipW[w.ID] {
+		if !inc.skipW[w.ID] {
 			rw = append(rw, w)
 		}
 	}
+	inc.rw = rw
 	frac := inc.MaxDirtyFraction
 	if frac <= 0 {
 		frac = 0.9
@@ -173,13 +204,19 @@ func (inc *Incremental) PlanDirty(workers []*core.Worker, tasks []*core.Task, no
 	if float64(len(rw)) > frac*float64(len(workers)) {
 		return inc.fullPlan(workers, tasks, now)
 	}
-	rt := make([]*core.Task, 0, len(tasks))
+	rt := inc.rt[:0]
 	for _, s := range tasks {
-		if !skipT[s.ID] {
+		if !inc.skipT[s.ID] {
 			rt = append(rt, s)
 		}
 	}
+	inc.rt = rt
 
+	// Only now are the retained components marked: every fallback above goes
+	// through fullPlan, whose partition recycles the whole previous cache.
+	for _, c := range retained {
+		c.keep = true
+	}
 	plan := inc.full.Plan(rw, rt, now)
 	fresh := inc.partition(rw, rt, plan)
 	inc.stats.ComponentsReplanned += int64(len(fresh))
@@ -209,6 +246,7 @@ type planComponent struct {
 	workers []int // member worker ids
 	tasks   []int // member task ids (virtuals carry their negative ids)
 	empty   bool  // last plan assigned nothing to these workers
+	keep    bool  // spliced into the next cache; not for the freelist
 }
 
 // touched reports whether any of the component's cells is in the dirty set.
@@ -233,70 +271,60 @@ func (inc *Incremental) partition(workers []*core.Worker, tasks []*core.Task, pl
 		inc.curGen = 0
 	}
 	inc.curGen++
-	find := func(c int32) int32 {
-		if inc.gen[c] != inc.curGen {
-			inc.gen[c] = inc.curGen
-			inc.parent[c] = c
-			return c
-		}
-		for inc.parent[c] != c {
-			inc.parent[c] = inc.parent[inc.parent[c]] // path halving
-			c = inc.parent[c]
-		}
-		return c
-	}
-	union := func(a, b int32) {
-		ra, rb := find(a), find(b)
-		if ra != rb {
-			inc.parent[rb] = ra
-		}
-	}
+	inc.recycle()
 
-	wcells := make([][]int, len(workers))
-	for i, w := range workers {
-		cs := WorkerCells(inc.grid, w.Loc, w.Reach)
-		wcells[i] = cs
+	wflat := inc.wflat[:0]
+	woff := append(inc.woff[:0], 0)
+	for _, w := range workers {
+		wflat = AppendWorkerCells(wflat, inc.grid, w.Loc, w.Reach)
+		woff = append(woff, int32(len(wflat)))
+		cs := wflat[woff[len(woff)-2]:]
 		for _, c := range cs[1:] {
-			union(int32(cs[0]), int32(c))
+			inc.union(int32(cs[0]), int32(c))
 		}
 	}
-	tcells := make([]int, len(tasks))
-	for j, s := range tasks {
-		tcells[j] = inc.grid.CellOf(s.Loc)
-		find(int32(tcells[j])) // touch, so lone task cells root themselves
+	inc.wflat, inc.woff = wflat, woff
+	tcells := inc.tcells[:0]
+	for _, s := range tasks {
+		c := int32(inc.grid.CellOf(s.Loc))
+		tcells = append(tcells, c)
+		inc.find(c) // touch, so lone task cells root themselves
 	}
+	inc.tcells = tcells
 
-	assigned := make(map[int]bool, len(plan))
+	if inc.assigned == nil {
+		inc.assigned = make(map[int]bool, len(plan))
+	} else {
+		clear(inc.assigned)
+	}
 	for _, a := range plan {
-		assigned[a.Worker.ID] = true
+		inc.assigned[a.Worker.ID] = true
 	}
 
-	byRoot := make(map[int32]int)
-	var comps []*planComponent
-	compOf := func(root int32) *planComponent {
-		i, ok := byRoot[root]
-		if !ok {
-			i = len(comps)
-			byRoot[root] = i
-			comps = append(comps, &planComponent{empty: true})
-		}
-		return comps[i]
+	if inc.byRoot == nil {
+		inc.byRoot = make(map[int32]int32)
+	} else {
+		clear(inc.byRoot)
 	}
+	var comps []*planComponent
 	for i, w := range workers {
-		c := compOf(find(int32(wcells[i][0])))
+		cs := wflat[woff[i]:woff[i+1]]
+		var c *planComponent
+		comps, c = inc.compOf(comps, inc.find(int32(cs[0])))
 		c.workers = append(c.workers, w.ID)
-		c.cells = append(c.cells, wcells[i]...)
-		if assigned[w.ID] {
+		c.cells = append(c.cells, cs...)
+		if inc.assigned[w.ID] {
 			c.empty = false
 		}
 	}
 	for j, s := range tasks {
-		c := compOf(find(int32(tcells[j])))
+		var c *planComponent
+		comps, c = inc.compOf(comps, inc.find(tcells[j]))
 		c.tasks = append(c.tasks, s.ID)
-		c.cells = append(c.cells, tcells[j])
+		c.cells = append(c.cells, int(tcells[j]))
 	}
 	for _, c := range comps {
-		sort.Ints(c.cells)
+		slices.Sort(c.cells)
 		dedup := c.cells[:0]
 		for i, cell := range c.cells {
 			if i == 0 || cell != dedup[len(dedup)-1] {
@@ -306,4 +334,63 @@ func (inc *Incremental) partition(workers []*core.Worker, tasks []*core.Task, pl
 		c.cells = dedup
 	}
 	return comps
+}
+
+// find locates the union-find root of cell c, lazily (re)initializing cells
+// on first touch in the current generation.
+func (inc *Incremental) find(c int32) int32 {
+	if inc.gen[c] != inc.curGen {
+		inc.gen[c] = inc.curGen
+		inc.parent[c] = c
+		return c
+	}
+	for inc.parent[c] != c {
+		inc.parent[c] = inc.parent[inc.parent[c]] // path halving
+		c = inc.parent[c]
+	}
+	return c
+}
+
+func (inc *Incremental) union(a, b int32) {
+	ra, rb := inc.find(a), inc.find(b)
+	if ra != rb {
+		inc.parent[rb] = ra
+	}
+}
+
+// compOf returns comps extended (if needed) with the component for root,
+// plus that component. New components come from the freelist when possible.
+func (inc *Incremental) compOf(comps []*planComponent, root int32) ([]*planComponent, *planComponent) {
+	if i, ok := inc.byRoot[root]; ok {
+		return comps, comps[i]
+	}
+	var c *planComponent
+	if n := len(inc.free); n > 0 {
+		c = inc.free[n-1]
+		inc.free[n-1] = nil
+		inc.free = inc.free[:n-1]
+		c.empty = true
+	} else {
+		c = &planComponent{empty: true}
+	}
+	inc.byRoot[root] = int32(len(comps))
+	return append(comps, c), c
+}
+
+// recycle moves the previous cache's dropped components to the freelist,
+// keeping their member/cell capacity; components marked keep are spliced
+// into the next cache by the caller and only have their mark cleared.
+func (inc *Incremental) recycle() {
+	for i, c := range inc.comps {
+		inc.comps[i] = nil
+		if c.keep {
+			c.keep = false
+			continue
+		}
+		c.cells = c.cells[:0]
+		c.workers = c.workers[:0]
+		c.tasks = c.tasks[:0]
+		inc.free = append(inc.free, c)
+	}
+	inc.comps = inc.comps[:0]
 }

@@ -1,0 +1,77 @@
+package benchsuite
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/dispatch"
+	"repro/internal/scenario"
+)
+
+// liveReplay builds a fresh dispatcher for one quiet archetype and replays
+// its full trace through the live path — the exact cell the benchmark suite
+// measures live allocations on. Used by both the alloc-profile benchmark and
+// the steady-state allocation gate.
+func liveReplay(tb testing.TB, arch string, m datawa.Method, scale float64) dispatch.LoadResult {
+	a, ok := scenario.Get(arch)
+	if !ok {
+		tb.Fatalf("unknown archetype %q", arch)
+	}
+	sc := a.Generate(scale)
+	fw, err := framework(sc, m, Options{}.withDefaults())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	d, err := fw.NewDispatcher(m, datawa.DispatchConfig{
+		Shards: 2, Step: 2, Now: sc.T0,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return dispatch.LoadGen{Events: sc.Events(), T1: sc.T1}.Run(d)
+}
+
+// BenchmarkLiveReplay replays a quiet archetype through the live dispatch
+// path with allocation reporting — the profiling anchor for the steady-state
+// allocation work (run with -memprofile to rank allocators).
+func BenchmarkLiveReplay(b *testing.B) {
+	for _, m := range []datawa.Method{datawa.MethodGreedy, datawa.MethodDTA} {
+		b.Run(string(m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				liveReplay(b, "sparse-suburb", m, 1)
+			}
+		})
+	}
+}
+
+// TestSteadyStateAllocGate is the allocation regression gate: a full live
+// replay of each quiet archetype — dispatcher construction included — must
+// stay under a fixed allocation budget, failing CI on regression instead of
+// merely recording a delta in the BENCH report. The sparse-suburb bounds are
+// the acceptance bar of the streaming-ingest work (80% below the BENCH_6
+// baselines of 130,593 Greedy / 331,274 DTA); the courier-grid bounds hold
+// ~1.5x headroom over the measured steady state, far below the order of
+// magnitude a scratch-reuse regression would cost.
+func TestSteadyStateAllocGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	for _, tc := range []struct {
+		arch   string
+		method datawa.Method
+		limit  float64
+	}{
+		{"sparse-suburb", datawa.MethodGreedy, 26148},
+		{"sparse-suburb", datawa.MethodDTA, 66281},
+		{"courier-grid", datawa.MethodGreedy, 25000},
+		{"courier-grid", datawa.MethodDTA, 55000},
+	} {
+		t.Run(tc.arch+"/"+string(tc.method), func(t *testing.T) {
+			allocs := testing.AllocsPerRun(2, func() { liveReplay(t, tc.arch, tc.method, 1) })
+			if allocs > tc.limit {
+				t.Fatalf("live replay allocates %.0f per run, gate is %.0f", allocs, tc.limit)
+			}
+		})
+	}
+}

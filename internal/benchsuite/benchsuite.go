@@ -46,11 +46,15 @@ import (
 // the chaos archetypes (cells marked overload, run under admission control
 // and the SLA governor) and their live-path shed/deferred/cancelled and
 // planner-tier counters, plus the exact task-conservation check Validate
-// applies to overload cells.
-const Schema = "datawa-bench-suite/4"
+// applies to overload cells; version 5 added the ingest transport axis —
+// cells carry a transport tag ("json" per-event, "stream" batched binary
+// wire frames) and reports echo the Transports option. A missing or empty
+// transport means "json": pre-v5 snapshots predate the stream transport, so
+// Compare matches their cells against v5 json cells.
+const Schema = "datawa-bench-suite/5"
 
 // legacySchemas are older wire formats Validate still accepts.
-var legacySchemas = []string{"datawa-bench-suite/3", "datawa-bench-suite/2", "datawa-bench-suite/1"}
+var legacySchemas = []string{"datawa-bench-suite/4", "datawa-bench-suite/3", "datawa-bench-suite/2", "datawa-bench-suite/1"}
 
 // schemaV1 is the oldest format, which predates the fidelity_gap field.
 const schemaV1 = "datawa-bench-suite/1"
@@ -77,6 +81,14 @@ type Options struct {
 	// training-free pair; DTA+TP and DATA-WA train their models per cell
 	// and cost accordingly).
 	Methods []string
+	// Transports lists the live-path ingest transports to measure: "json"
+	// replays per event (the pre-v5 behavior and the only valid entry for
+	// older baselines), "stream" replays through the batched binary wire
+	// path (encode → frame → decode → IngestBatch). Empty = json only.
+	// Assignment outcomes are transport-independent — the dispatch property
+	// tests pin byte-identical snapshots — so extra transports add
+	// throughput cells, never new behavior.
+	Transports []string
 	// Step is the planning epoch length in seconds (default 2).
 	Step float64
 	// Shards is the live path's dispatcher shard count (default 2).
@@ -107,6 +119,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Methods) == 0 {
 		o.Methods = []string{string(datawa.MethodGreedy), string(datawa.MethodDTA)}
+	}
+	if len(o.Transports) == 0 {
+		o.Transports = []string{TransportJSON}
 	}
 	if o.Step <= 0 {
 		o.Step = 2
@@ -139,6 +154,7 @@ type Report struct {
 	Scenarios   []string  `json:"scenarios,omitempty"`
 	Scales      []float64 `json:"scales"`
 	Methods     []string  `json:"methods"`
+	Transports  []string  `json:"transports,omitempty"`
 	Step        float64   `json:"step_seconds"`
 	Shards      int       `json:"shards"`
 	HaloRadius  float64   `json:"halo_radius_km"`
@@ -179,6 +195,27 @@ type Cell struct {
 	// the deterministic work-unit cost function, then quiesced to a full
 	// drain. Validate asserts exact task conservation on these cells.
 	Overload bool `json:"overload,omitempty"`
+	// Transport is the live path's ingest transport: TransportJSON
+	// (per-event, the pre-v5 default — empty means the same) or
+	// TransportStream (batched binary wire frames). The offline path never
+	// involves a transport, so stream cells reuse the json cell's offline
+	// figures verbatim.
+	Transport string `json:"transport,omitempty"`
+}
+
+// Live-path ingest transports a Cell can be measured over.
+const (
+	TransportJSON   = "json"
+	TransportStream = "stream"
+)
+
+// normTransport maps the empty (pre-v5) transport tag to TransportJSON so
+// old and new snapshots compare like for like.
+func normTransport(t string) string {
+	if t == "" {
+		return TransportJSON
+	}
+	return t
 }
 
 // Path is one execution path's measurement.
@@ -240,6 +277,7 @@ func Run(opts Options) (*Report, error) {
 		Scenarios:   opts.Scenarios,
 		Scales:      opts.Scales,
 		Methods:     opts.Methods,
+		Transports:  opts.Transports,
 		Step:        opts.Step,
 		Shards:      opts.Shards,
 		HaloRadius:  opts.HaloRadius,
@@ -254,23 +292,33 @@ func Run(opts Options) (*Report, error) {
 		for _, f := range opts.Scales {
 			sc := arch.Generate(f)
 			for _, method := range opts.Methods {
-				cell, err := runCell(arch, sc, f, datawa.Method(method), opts)
-				if err != nil {
-					return nil, fmt.Errorf("benchsuite: %s %gx %s: %w", name, f, method, err)
+				// The offline engine has no ingest transport, so its
+				// measurement from the first transport's cell is reused
+				// verbatim by the rest.
+				var offline *Path
+				for _, transport := range opts.Transports {
+					cell, err := runCell(arch, sc, f, datawa.Method(method), transport, offline, opts)
+					if err != nil {
+						return nil, fmt.Errorf("benchsuite: %s %gx %s (%s): %w", name, f, method, transport, err)
+					}
+					if offline == nil {
+						off := cell.Offline
+						offline = &off
+					}
+					r.Results = append(r.Results, cell)
+					chaos := ""
+					if cell.Overload {
+						chaos = fmt.Sprintf(" | shed %d deferred %d tier↓%d↑%d worst %d",
+							cell.Live.Shed, cell.Live.Deferred,
+							cell.Live.TierDemotions, cell.Live.TierPromotions, cell.Live.WorstTier)
+					}
+					opts.Log("%-13s %4gx %-8s %-6s offline %5.1f%% %8.0f ev/s | live %5.1f%% %8.0f ev/s gap %+5.1fpp p95 %s%s",
+						name, f, method, transport,
+						100*cell.Offline.AssignmentRate, cell.Offline.EventsPerSec,
+						100*cell.Live.AssignmentRate, cell.Live.EventsPerSec,
+						100*cell.FidelityGap,
+						time.Duration(cell.Live.EpochP95NS).Round(time.Microsecond), chaos)
 				}
-				r.Results = append(r.Results, cell)
-				chaos := ""
-				if cell.Overload {
-					chaos = fmt.Sprintf(" | shed %d deferred %d tier↓%d↑%d worst %d",
-						cell.Live.Shed, cell.Live.Deferred,
-						cell.Live.TierDemotions, cell.Live.TierPromotions, cell.Live.WorstTier)
-				}
-				opts.Log("%-13s %4gx %-8s offline %5.1f%% %8.0f ev/s | live %5.1f%% %8.0f ev/s gap %+5.1fpp p95 %s%s",
-					name, f, method,
-					100*cell.Offline.AssignmentRate, cell.Offline.EventsPerSec,
-					100*cell.Live.AssignmentRate, cell.Live.EventsPerSec,
-					100*cell.FidelityGap,
-					time.Duration(cell.Live.EpochP95NS).Round(time.Microsecond), chaos)
 			}
 		}
 	}
@@ -304,44 +352,52 @@ func framework(sc *datawa.Scenario, m datawa.Method, opts Options) (*datawa.Fram
 	return fw, nil
 }
 
-// runCell measures one scenario × scale × method through both paths.
-func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.Method, opts Options) (Cell, error) {
+// runCell measures one scenario × scale × method × transport through both
+// paths. A non-nil offline is reused instead of re-running the offline
+// engine — stream cells differ from their json siblings only on the live
+// path's ingest transport.
+func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.Method, transport string, offline *Path, opts Options) (Cell, error) {
 	cell := Cell{
 		Scenario: arch.Name, Scale: f, Method: string(m),
 		Workers: len(sc.Workers), Tasks: len(sc.Tasks),
+		Transport: transport,
 	}
 	events := len(sc.Workers) + len(sc.Tasks)
-
-	// Offline: the closed-trace stream engine.
-	fw, err := framework(sc, m, opts)
-	if err != nil {
-		return Cell{}, err
-	}
 	var m0, m1 runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&m0)
-	start := time.Now()
-	res, err := fw.Run(m, sc.Workers, sc.Tasks, sc.T0, sc.T1)
-	wall := time.Since(start)
-	runtime.ReadMemStats(&m1)
-	if err != nil {
-		return Cell{}, err
-	}
-	cell.Offline = Path{
-		Assigned: res.Assigned, Expired: res.Expired,
-		AssignmentRate: rate(res.Assigned, len(sc.Tasks)),
-		PlanCalls:      res.PlanCalls,
-		AvgPlanNS:      res.AvgPlanTime.Nanoseconds(),
-		WallMS:         float64(wall.Microseconds()) / 1000,
-		EventsPerSec:   perSec(events, wall),
-		AllocBytes:     m1.TotalAlloc - m0.TotalAlloc,
-		Allocs:         m1.Mallocs - m0.Mallocs,
+
+	if offline != nil {
+		cell.Offline = *offline
+	} else {
+		// Offline: the closed-trace stream engine.
+		fw, err := framework(sc, m, opts)
+		if err != nil {
+			return Cell{}, err
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		res, err := fw.Run(m, sc.Workers, sc.Tasks, sc.T0, sc.T1)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			return Cell{}, err
+		}
+		cell.Offline = Path{
+			Assigned: res.Assigned, Expired: res.Expired,
+			AssignmentRate: rate(res.Assigned, len(sc.Tasks)),
+			PlanCalls:      res.PlanCalls,
+			AvgPlanNS:      res.AvgPlanTime.Nanoseconds(),
+			WallMS:         float64(wall.Microseconds()) / 1000,
+			EventsPerSec:   perSec(events, wall),
+			AllocBytes:     m1.TotalAlloc - m0.TotalAlloc,
+			Allocs:         m1.Mallocs - m0.Mallocs,
+		}
 	}
 
 	// Live: the same trace through the sharded dispatch service. A fresh
 	// framework keeps any forecaster state of the offline run out of the
 	// measurement.
-	fw, err = framework(sc, m, opts)
+	fw, err := framework(sc, m, opts)
 	if err != nil {
 		return Cell{}, err
 	}
@@ -361,7 +417,7 @@ func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.M
 	if err != nil {
 		return Cell{}, err
 	}
-	g := dispatch.LoadGen{Events: sc.Events(), T1: sc.T1}
+	g := dispatch.LoadGen{Events: sc.Events(), T1: sc.T1, Stream: normTransport(transport) == TransportStream}
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
 	lr := g.Run(d)
@@ -488,6 +544,9 @@ func (r *Report) Validate() error {
 		if c.Scale <= 0 || math.IsNaN(c.Scale) {
 			return fmt.Errorf("%s: bad scale", where)
 		}
+		if tp := c.Transport; tp != "" && tp != TransportJSON && tp != TransportStream {
+			return fmt.Errorf("%s: unknown transport %q", where, tp)
+		}
 		if c.Workers <= 0 || c.Tasks <= 0 {
 			return fmt.Errorf("%s: empty population", where)
 		}
@@ -571,22 +630,36 @@ func Compare(base, cur *Report, maxRelDrop, maxRelP95 float64) (int, error) {
 	if err := cur.Validate(); err != nil {
 		return 0, fmt.Errorf("new report: %w", err)
 	}
-	key := func(c Cell) string { return fmt.Sprintf("%s|%g|%s", c.Scenario, c.Scale, c.Method) }
+	// Cells match on scenario, scale, method, and transport — with the empty
+	// (pre-v5) transport normalized to "json", so a pre-stream baseline's
+	// cells gate the candidate's per-event cells and its stream cells ride
+	// along ungated until a stream-bearing snapshot becomes the baseline.
+	key := func(c Cell) string {
+		return fmt.Sprintf("%s|%g|%s|%s", c.Scenario, c.Scale, c.Method, normTransport(c.Transport))
+	}
 	baseBy := make(map[string]Cell, len(base.Results))
 	for _, c := range base.Results {
 		baseBy[key(c)] = c
 	}
 	curBy := make(map[string]bool, len(cur.Results))
 	curScenarios := make(map[string]bool)
+	curTransports := make(map[string]bool)
 	for _, c := range cur.Results {
 		curBy[key(c)] = true
 		if len(cur.Scenarios) == 0 {
 			// Pre-v3 candidate without the scenario echo: infer the axis.
 			curScenarios[c.Scenario] = true
 		}
+		if len(cur.Transports) == 0 {
+			// Pre-v5 candidate without the transport echo: infer the axis.
+			curTransports[normTransport(c.Transport)] = true
+		}
 	}
 	for _, name := range cur.Scenarios {
 		curScenarios[name] = true
+	}
+	for _, tp := range cur.Transports {
+		curTransports[normTransport(tp)] = true
 	}
 	curScales := make(map[float64]bool, len(cur.Scales))
 	for _, f := range cur.Scales {
@@ -598,7 +671,8 @@ func Compare(base, cur *Report, maxRelDrop, maxRelP95 float64) (int, error) {
 	}
 	var missing []string
 	for _, b := range base.Results {
-		if curScenarios[b.Scenario] && curScales[b.Scale] && curMethods[b.Method] && !curBy[key(b)] {
+		if curScenarios[b.Scenario] && curScales[b.Scale] && curMethods[b.Method] &&
+			curTransports[normTransport(b.Transport)] && !curBy[key(b)] {
 			missing = append(missing, key(b))
 		}
 	}

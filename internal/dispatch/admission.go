@@ -1,7 +1,6 @@
 package dispatch
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/core"
@@ -59,10 +58,9 @@ func (d *Dispatcher) deferSlackLocked() float64 {
 // or never admitted it. cause names the admission pressure for the ledger.
 func (d *Dispatcher) deferOrShedLocked(s *core.Task, t float64, cause string) {
 	if s.Exp-t >= d.deferSlackLocked() {
-		d.seq++
-		heap.Push(&d.pending, pendingEvent{
+		d.pending.push(pendingEvent{
 			ev:       Event{Time: t + d.cfg.Step, Kind: KindTaskSubmit, Task: s},
-			seq:      d.seq,
+			seq:      d.seqCtr.Add(1),
 			requeued: true,
 		})
 		d.deferred++
@@ -96,10 +94,9 @@ func (d *Dispatcher) displaceLocked(v victim, t float64, cause string) {
 		d.shards[v.shard].DropTask(v.id)
 		d.dropGhostsLocked(v.id)
 		delete(d.taskOf, v.id)
-		d.seq++
-		heap.Push(&d.pending, pendingEvent{
+		d.pending.push(pendingEvent{
 			ev:       Event{Time: t + d.cfg.Step, Kind: KindTaskSubmit, Task: v.task},
-			seq:      d.seq,
+			seq:      d.seqCtr.Add(1),
 			requeued: true,
 		})
 		d.deferred++
@@ -143,28 +140,58 @@ func (d *Dispatcher) peekVictimLocked() (victim, bool) {
 				return v, true
 			}
 		}
-		heap.Pop(&d.victims)
+		d.victims.pop()
 	}
 	return victim{}, false
 }
 
 // victimHeap is a max-heap by (deadline, id): the root is the most
-// deferrable open task.
+// deferrable open task. Concrete-typed for the same reason as eventHeap —
+// container/heap boxes every Push on a path admission control hits per
+// admitted task.
 type victimHeap []victim
 
-func (h victimHeap) Len() int { return len(h) }
-func (h victimHeap) Less(i, j int) bool {
+func (h victimHeap) less(i, j int) bool {
 	if h[i].exp != h[j].exp {
 		return h[i].exp > h[j].exp
 	}
 	return h[i].id > h[j].id
 }
-func (h victimHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *victimHeap) Push(x any)   { *h = append(*h, x.(victim)) }
-func (h *victimHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *victimHeap) push(v victim) {
+	*h = append(*h, v)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *victimHeap) pop() victim {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = victim{} // release the *core.Task
+	*h = s[:n]
+	s = s[:n]
+	for i := 0; ; {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && s.less(r, kid) {
+			kid = r
+		}
+		if !s.less(kid, i) {
+			break
+		}
+		s[i], s[kid] = s[kid], s[i]
+		i = kid
+	}
+	return top
 }

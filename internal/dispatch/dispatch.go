@@ -51,7 +51,6 @@
 package dispatch
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
@@ -175,6 +174,14 @@ type Config struct {
 	// pending-buffer growth (Metrics.QueueDepth) and epoch latency, not as
 	// lost events.
 	QueueSize int
+	// SingleQueue selects the legacy single-channel ingest queue instead of
+	// the default sharded-by-cell lock-free rings. Event application order —
+	// and therefore all assignment state — is identical either way for any
+	// serialized event stream: events are globally sequenced and the pending
+	// heap replays them by (time, sequence) regardless of queue shape. The
+	// knob exists so the property tests and BenchmarkIngest can compare the
+	// two paths like-for-like.
+	SingleQueue bool
 	// LatencyWindow is how many recent epoch latencies feed the percentile
 	// snapshot (default 1024).
 	LatencyWindow int
@@ -284,17 +291,27 @@ type Metrics struct {
 // (from any goroutine), and advance its epoch clock either manually (Advance,
 // Tick — deterministic, used by tests and LoadGen) or on wall time (Serve).
 type Dispatcher struct {
-	cfg   Config
+	cfg Config
+	// Exactly one of rings/queue is the live ingest buffer: the sharded
+	// lock-free rings by default, the legacy channel under
+	// Config.SingleQueue.
+	rings *shardedQueue
 	queue chan Event
 
 	ingested   atomic.Int64
 	applied    atomic.Int64
 	unroutable atomic.Int64
 	nowBits    atomic.Uint64 // next epoch instant, for lock-free stamping
+	// seqCtr stamps every event with its global ingest order at enqueue
+	// time (see stampedEvent); requeues (admission deferrals) draw from the
+	// same counter under the epoch lock.
+	seqCtr atomic.Int64
+	// synthID assigns server-side task ids for streamed submits with id 0,
+	// starting above any client-chosen range (see syntheticIDBase).
+	synthID atomic.Int64
 
 	mu      sync.Mutex
 	pending eventHeap // drained from the queue, not yet due
-	seq     int64     // ingest-order tiebreak for pending
 	shards  []*stream.Machine
 	// inc holds each shard's incremental-planner wrapper for reuse metrics;
 	// nil when incremental replanning is off.
@@ -358,7 +375,6 @@ func New(cfg Config) *Dispatcher {
 	}
 	d := &Dispatcher{
 		cfg:    cfg,
-		queue:  make(chan Event, cfg.QueueSize),
 		shards: make([]*stream.Machine, cfg.Shards),
 		owner:  make(map[int]int),
 		taskOf: make(map[int]int),
@@ -366,6 +382,12 @@ func New(cfg Config) *Dispatcher {
 		clock:  cfg.Now,
 		lat:    newLatencyRing(cfg.LatencyWindow),
 	}
+	if cfg.SingleQueue {
+		d.queue = make(chan Event, cfg.QueueSize)
+	} else {
+		d.rings = newShardedQueue(cfg.Shards, cfg.QueueSize)
+	}
+	d.synthID.Store(syntheticIDBase)
 	d.ob = newObsState(cfg.Obs, cfg.Shards)
 	if cfg.Shards > 1 {
 		d.smap = newShardMap(cfg.Grid, cfg.Shards)
@@ -465,8 +487,24 @@ func (d *Dispatcher) Now() float64 {
 // Ingest enqueues one event with an explicit effect time. Safe for
 // concurrent use. When the queue is full the caller spills the backlog into
 // the pending buffer itself (taking the epoch lock), so a single goroutine
-// can enqueue arbitrarily many events without an intervening epoch.
+// can enqueue arbitrarily many events without an intervening epoch. The fast
+// path on the default sharded queue is one atomic counter increment plus one
+// ring CAS — no lock, and no contention between producers in different
+// regions.
 func (d *Dispatcher) Ingest(ev Event) {
+	if d.rings != nil {
+		se := stampedEvent{ev: ev, seq: d.seqCtr.Add(1)}
+		if !d.laneOf(ev).tryPush(se) {
+			// Full lane: spill everything queued into the pending heap and
+			// place this event there directly — never dropped, never blocked.
+			d.mu.Lock()
+			d.drainLocked()
+			d.pending.push(pendingEvent{ev: se.ev, seq: se.seq})
+			d.mu.Unlock()
+		}
+		d.ingested.Add(1)
+		return
+	}
 	for {
 		select {
 		case d.queue <- ev:
@@ -928,14 +966,29 @@ func (d *Dispatcher) forecastLocked(t float64) (bool, int) {
 }
 
 // drainLocked moves queued events into the pending heap without blocking,
-// returning how many it moved.
+// returning how many it moved. Sharded lanes carry their enqueue-time
+// sequence numbers; the legacy channel stamps at drain. Either way the heap
+// orders events by (time, sequence), so queue shape never changes what an
+// epoch sees.
 func (d *Dispatcher) drainLocked() int {
 	n := 0
+	if d.rings != nil {
+		for _, l := range d.rings.lanes {
+			for {
+				se, ok := l.pop()
+				if !ok {
+					break
+				}
+				d.pending.push(pendingEvent{ev: se.ev, seq: se.seq})
+				n++
+			}
+		}
+		return n
+	}
 	for {
 		select {
 		case ev := <-d.queue:
-			d.seq++
-			heap.Push(&d.pending, pendingEvent{ev: ev, seq: d.seq})
+			d.pending.push(pendingEvent{ev: ev, seq: d.seqCtr.Add(1)})
 			n++
 		default:
 			return n
@@ -953,7 +1006,7 @@ func (d *Dispatcher) drainLocked() int {
 func (d *Dispatcher) applyDueLocked(t float64) int {
 	submits, due := 0, 0
 	for len(d.pending) > 0 && d.pending[0].ev.Time <= t {
-		pe := heap.Pop(&d.pending).(pendingEvent)
+		pe := d.pending.pop()
 		due++
 		if c := d.cfg.Admission.MaxSubmitsPerEpoch; c > 0 && pe.ev.Kind == KindTaskSubmit {
 			// Backpressure on the ingest path: past the per-epoch budget,
@@ -1042,7 +1095,7 @@ func (d *Dispatcher) applyLocked(ev Event, t float64, requeued bool) {
 			d.taskOf[ev.Task.ID] = shard
 			d.recordTask(ev.Task.ID, obs.Admitted, shard, 0, "")
 			if d.cfg.Admission.MaxOpenTasks > 0 {
-				heap.Push(&d.victims, victim{exp: ev.Task.Exp, id: ev.Task.ID, task: ev.Task, shard: shard})
+				d.victims.push(victim{exp: ev.Task.Exp, id: ev.Task.ID, task: ev.Task, shard: shard})
 			}
 			if d.haloEnabled() {
 				d.replicateLocked(ev.Task, shard, t)
@@ -1103,7 +1156,7 @@ func (d *Dispatcher) Snapshot() Metrics {
 		Ingested:        d.ingested.Load(),
 		Applied:         d.applied.Load(),
 		Unroutable:      d.unroutable.Load(),
-		QueueDepth:      len(d.queue) + len(d.pending),
+		QueueDepth:      d.queueDepthLocked() + len(d.pending),
 		RoutedWorkers:   len(d.owner),
 		RoutedTasks:     len(d.taskOf),
 		RoutedGhosts:    len(d.ghosts),
@@ -1156,7 +1209,7 @@ func (d *Dispatcher) Quiesce(maxEpochs int) bool {
 	for i := 0; i <= maxEpochs; i++ {
 		d.mu.Lock()
 		d.drainLocked()
-		done := len(d.queue) == 0 && len(d.pending) == 0 && len(d.taskOf) == 0
+		done := d.queueDepthLocked() == 0 && len(d.pending) == 0 && len(d.taskOf) == 0
 		if done && d.gov != nil {
 			for s := range d.shards {
 				if d.gov.TierOf(s) != 0 {
@@ -1176,6 +1229,19 @@ func (d *Dispatcher) Quiesce(maxEpochs int) bool {
 	return false
 }
 
+// queueDepthLocked is the current ingest-buffer backlog, whichever queue
+// shape is live.
+func (d *Dispatcher) queueDepthLocked() int {
+	if d.rings != nil {
+		return d.rings.depth()
+	}
+	return len(d.queue)
+}
+
+// nextSyntheticID allocates a server-assigned task id, above every
+// client-chosen one.
+func (d *Dispatcher) nextSyntheticID() int { return int(d.synthID.Add(1)) }
+
 // pendingEvent orders drained events by effect time, ingest order breaking
 // ties, so due extraction is logarithmic in the backlog size.
 type pendingEvent struct {
@@ -1186,23 +1252,57 @@ type pendingEvent struct {
 	requeued bool
 }
 
+// eventHeap is a concrete min-heap by (Time, seq). Hand-rolled rather than
+// container/heap: the interface's Push(any)/Pop() box every element, which
+// was one heap allocation per ingested event on the steady-state path the
+// alloc gates pin at zero.
 type eventHeap []pendingEvent
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].ev.Time != h[j].ev.Time {
 		return h[i].ev.Time < h[j].ev.Time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(pendingEvent)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) push(pe pendingEvent) {
+	*h = append(*h, pe)
+	s := *h
+	// Sift up.
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() pendingEvent {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = pendingEvent{} // release the Task/Worker pointers
+	*h = s[:n]
+	// Sift down.
+	s = s[:n]
+	for i := 0; ; {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && s.less(r, kid) {
+			kid = r
+		}
+		if !s.less(kid, i) {
+			break
+		}
+		s[i], s[kid] = s[kid], s[i]
+		i = kid
+	}
+	return top
 }
 
 // latencyRing keeps the last n epoch latencies for percentile snapshots.

@@ -5,7 +5,6 @@ import (
 	"math"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/geo"
@@ -23,6 +22,7 @@ const syntheticIDBase = 1 << 30
 //	POST /v1/workers/heartbeat  {id, x, y}                 position update
 //	POST /v1/tasks              {id?, x, y, valid}         submit task
 //	POST /v1/tasks/cancel       {id}                       cancel task
+//	POST /v1/stream             batched event stream       binary frames or NDJSON (internal/wire)
 //	GET  /v1/plan?worker=ID                                current schedule
 //	GET  /v1/metrics                                       snapshot (JSON)
 //	GET  /v1/trace?n=K                                     epoch trace records
@@ -35,20 +35,19 @@ const syntheticIDBase = 1 << 30
 // Ingestion endpoints respond 202 Accepted with the logical effect time:
 // events take effect at the next planning epoch, not synchronously.
 type Handler struct {
-	d      *Dispatcher
-	mux    *http.ServeMux
-	nextID atomic.Int64
+	d   *Dispatcher
+	mux *http.ServeMux
 }
 
 // NewHandler wraps a dispatcher in its HTTP API.
 func NewHandler(d *Dispatcher) *Handler {
 	h := &Handler{d: d, mux: http.NewServeMux()}
-	h.nextID.Store(syntheticIDBase)
 	h.mux.HandleFunc("POST /v1/workers", h.workerOnline)
 	h.mux.HandleFunc("POST /v1/workers/offline", h.workerOffline)
 	h.mux.HandleFunc("POST /v1/workers/heartbeat", h.heartbeat)
 	h.mux.HandleFunc("POST /v1/tasks", h.submitTask)
 	h.mux.HandleFunc("POST /v1/tasks/cancel", h.cancelTask)
+	h.mux.HandleFunc("POST /v1/stream", h.stream)
 	h.mux.HandleFunc("GET /v1/plan", h.plan)
 	h.mux.HandleFunc("GET /v1/metrics", h.metrics)
 	h.mux.HandleFunc("GET /v1/trace", h.traceRecords)
@@ -160,7 +159,7 @@ func (h *Handler) submitTask(w http.ResponseWriter, r *http.Request) {
 	}
 	id := req.ID
 	if id == 0 {
-		id = int(h.nextID.Add(1))
+		id = h.d.nextSyntheticID()
 	}
 	now := h.d.Now()
 	h.d.SubmitTask(&core.Task{
@@ -177,6 +176,31 @@ func (h *Handler) cancelTask(w http.ResponseWriter, r *http.Request) {
 	}
 	h.d.CancelTask(req.ID)
 	writeJSON(w, http.StatusAccepted, acceptedResp{ID: req.ID, Time: h.d.Now()})
+}
+
+// stream is the batched ingest endpoint: the request body is a persistent
+// event stream — length-prefixed binary frames (internal/wire) or NDJSON
+// lines, sniffed from the first byte — consumed until EOF. The response
+// summarizes the session: accepted/rejected event counts and the frame
+// count. This is the high-throughput face of the ingest API; the per-event
+// JSON endpoints above are its degenerate single-event case.
+//
+//	# binary (a client encodes frames with internal/wire)
+//	curl -s --data-binary @events.wire localhost:8080/v1/stream
+//	# NDJSON (curl-able by hand)
+//	printf '%s\n' '{"kind":"task_submit","id":12,"x":1,"y":2,"pub":0,"exp":60}' |
+//	  curl -s --data-binary @- localhost:8080/v1/stream
+func (h *Handler) stream(w http.ResponseWriter, r *http.Request) {
+	sum, err := h.d.ConsumeStream(r.Body)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if IsProtocolError(err) {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, map[string]any{"error": err.Error(), "summary": sum})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, sum)
 }
 
 func (h *Handler) plan(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,209 @@
+package dispatch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/workload"
+)
+
+// replayShape replays the scenario trace with explicit control over the
+// ingest-queue shape and transport, returning the final snapshot.
+func replayShape(sc *workload.Scenario, parallelism int, single bool, queueSize int, stream bool, batch int) Metrics {
+	d := New(Config{
+		Shards:      4,
+		Grid:        sc.Grid,
+		Step:        2,
+		Now:         sc.T0,
+		Travel:      travel,
+		NewPlanner:  searchFactory(),
+		Parallelism: parallelism,
+		SingleQueue: single,
+		QueueSize:   queueSize,
+	})
+	return LoadGen{Events: sc.Events(), T1: sc.T1, Stream: stream, Batch: batch}.Run(d).Metrics
+}
+
+// TestQueueShapeEquivalence is the sharded-queue property test's sequential
+// half: for one event stream, the sharded lock-free queue and the legacy
+// single channel must produce byte-identical snapshots at every parallelism
+// level. Lane routing spreads contention; the (Time, seq) pending order — not
+// lane interleaving — decides what the epochs see.
+func TestQueueShapeEquivalence(t *testing.T) {
+	sc := testScenario(t)
+	ref := digest(replayShape(sc, 1, true, 0, false, 0))
+	for _, parallelism := range []int{1, 4, 0} {
+		sharded := digest(replayShape(sc, parallelism, false, 0, false, 0))
+		if sharded != ref {
+			t.Fatalf("parallelism %d: sharded queue diverged from channel:\n got %s\nwant %s",
+				parallelism, sharded, ref)
+		}
+	}
+}
+
+// TestQueueSpillEquivalence drives both queue shapes through the full-queue
+// spill-to-pending branch: a queue sized far below the burst forces every
+// producer past the ring/channel into the pending heap, and the outcome must
+// still match an amply-sized queue exactly. QueueSize 8 clamps the sharded
+// queue to its 64-slot lane minimum, so the 500-event single-cell burst
+// overflows the one lane it routes to by ~8x.
+func TestQueueSpillEquivalence(t *testing.T) {
+	run := func(single bool, queueSize int) Metrics {
+		d := New(Config{
+			Shards: 2, Grid: geo.NewGrid(geo.Rect{MaxX: 6, MaxY: 6}, 3, 3), Step: 1,
+			Travel: travel, NewPlanner: greedyFactory(),
+			SingleQueue: single, QueueSize: queueSize,
+		})
+		d.Ingest(Event{Time: 0, Kind: KindWorkerOnline,
+			Worker: &core.Worker{ID: 1, Loc: geo.Point{X: 3}, Reach: 1, On: 0, Off: 1000}})
+		const n = 500
+		for i := 0; i < n; i++ {
+			d.Ingest(Event{Time: 0, Kind: KindTaskSubmit,
+				Task: &core.Task{ID: i + 1, Loc: geo.Point{X: 3}, Pub: 0, Exp: 40, Cell: -1}})
+		}
+		if !d.Quiesce(1000) {
+			t.Fatal("dispatcher failed to quiesce")
+		}
+		return d.Snapshot()
+	}
+	ref := digest(run(true, 4096))
+	for _, tc := range []struct {
+		name      string
+		single    bool
+		queueSize int
+	}{
+		{"sharded/spill", false, 8},
+		{"sharded/ample", false, 4096},
+		{"channel/spill", true, 8},
+	} {
+		if got := digest(run(tc.single, tc.queueSize)); got != ref {
+			t.Fatalf("%s diverged:\n got %s\nwant %s", tc.name, got, ref)
+		}
+	}
+}
+
+// TestConcurrentProducersDeterministic is the concurrent half of the queue
+// property test: randomized producer interleavings must not leak into the
+// outcome. Each event carries a globally unique time, so the pending heap's
+// (Time, seq) order is a pure function of the trace regardless of which
+// producer's push lands first — and the post-Quiesce snapshot must equal the
+// sequential single-channel replay of the same stream, run after run. The
+// queue is sized to force concurrent spill-to-pending on top of ring pushes.
+func TestConcurrentProducersDeterministic(t *testing.T) {
+	sc := testScenario(t)
+	base := sc.Events()
+	events := make([]workload.Event, len(base))
+	copy(events, base)
+	for i := range events {
+		// Strictly increasing jitter keeps the trace sorted while making
+		// every instant unique; 1e-6 is far below the epoch step, so epoch
+		// bucketing is unchanged.
+		events[i].Time += float64(i) * 1e-6
+	}
+	run := func(producers int, single bool, queueSize int) Metrics {
+		d := New(Config{
+			Shards: 4, Grid: sc.Grid, Step: 2, Now: sc.T0,
+			Travel: travel, NewPlanner: searchFactory(),
+			SingleQueue: single, QueueSize: queueSize,
+		})
+		if producers <= 1 {
+			for _, ev := range events {
+				d.Ingest(traceEvent(ev))
+			}
+		} else {
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := p; i < len(events); i += producers {
+						d.Ingest(traceEvent(events[i]))
+					}
+				}(p)
+			}
+			wg.Wait()
+		}
+		if !d.Quiesce(10000) {
+			t.Fatal("dispatcher failed to quiesce")
+		}
+		return d.Snapshot()
+	}
+	ref := digest(run(1, true, 0))
+	for run2 := 0; run2 < 2; run2++ {
+		for _, producers := range []int{2, 4, 8} {
+			got := digest(run(producers, false, 64))
+			if got != ref {
+				t.Fatalf("run %d, %d producers: sharded queue diverged from sequential channel:\n got %s\nwant %s",
+					run2, producers, got, ref)
+			}
+		}
+	}
+}
+
+// traceEvent converts a workload trace event to a dispatcher ingest event.
+func traceEvent(ev workload.Event) Event {
+	switch ev.Kind {
+	case workload.WorkerOnline:
+		return Event{Time: ev.Time, Kind: KindWorkerOnline, Worker: ev.Worker}
+	case workload.TaskSubmit:
+		return Event{Time: ev.Time, Kind: KindTaskSubmit, Task: ev.Task}
+	}
+	panic(fmt.Sprintf("unknown trace event kind %v", ev.Kind))
+}
+
+// TestTransportEquivalence pins determinism across transports: the batched
+// binary-stream replay (encode → frame → decode → IngestBatch) must produce
+// snapshots byte-identical to the per-event path at every parallelism level
+// and batch size, including single-event frames.
+func TestTransportEquivalence(t *testing.T) {
+	sc := testScenario(t)
+	ref := digest(replayShape(sc, 1, false, 0, false, 0))
+	for _, parallelism := range []int{1, 4, 0} {
+		for _, batch := range []int{1, 256} {
+			got := digest(replayShape(sc, parallelism, false, 0, true, batch))
+			if got != ref {
+				t.Fatalf("parallelism %d batch %d: stream transport diverged:\n got %s\nwant %s",
+					parallelism, batch, got, ref)
+			}
+		}
+	}
+}
+
+// TestLoadGenStreamSustains25k is the raised throughput acceptance bar: the
+// binary-stream transport must sustain at least 25k events per second on the
+// DiDi-scaled trace, planning included — 25x the per-event floor pinned by
+// TestLoadGenSustainsDiDiRate when the ingest path was one HTTP/JSON request
+// per event.
+func TestLoadGenStreamSustains25k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock throughput floor is meaningless under the race detector")
+	}
+	cfg := workload.DiDi().Scaled(0.1)
+	cfg.HistoryDuration = 0
+	sc := workload.Generate(cfg)
+	d := New(Config{
+		Shards:     4,
+		Grid:       sc.Grid,
+		Step:       2,
+		Now:        sc.T0,
+		Travel:     travel,
+		NewPlanner: greedyFactory(),
+	})
+	res := LoadGen{Events: sc.Events(), T1: sc.T1, Stream: true}.Run(d)
+	if res.Events < 500 {
+		t.Fatalf("trace too small to be meaningful: %d events", res.Events)
+	}
+	if res.AchievedRate < 25000 {
+		t.Fatalf("achieved %.0f events/sec over %d events (%v wall), want ≥ 25000",
+			res.AchievedRate, res.Events, res.Wall)
+	}
+	if res.Metrics.Assigned == 0 {
+		t.Fatal("load run assigned nothing; harness is not exercising planning")
+	}
+}

@@ -1,8 +1,10 @@
 package dispatch
 
 import (
+	"fmt"
 	"time"
 
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -22,6 +24,16 @@ type LoadGen struct {
 	// advanced to T1 so in-flight work drains, mirroring the engine's
 	// [T0, T1) clock range.
 	T1 float64
+	// Stream selects the binary-stream transport: due events are encoded
+	// into wire frames (internal/wire) and decoded back through
+	// Dispatcher.IngestBatch — the full batched codec path a /v1/stream
+	// client exercises, without socket noise. Events reach the dispatcher
+	// in identical order at identical planning instants, so assignment
+	// state is byte-identical to the per-event transport; only the cost
+	// per event changes.
+	Stream bool
+	// Batch caps events per frame in Stream mode (default 256).
+	Batch int
 }
 
 // LoadResult summarizes one replay.
@@ -46,6 +58,9 @@ type LoadResult struct {
 // Run replays the trace. The caller must not Advance or Serve the dispatcher
 // concurrently: LoadGen owns the epoch clock for the duration of the replay.
 func (g LoadGen) Run(d *Dispatcher) LoadResult {
+	if g.Stream {
+		return g.runStream(d)
+	}
 	start := time.Now()
 	var interval time.Duration
 	if g.Rate > 0 {
@@ -89,4 +104,85 @@ func (g LoadGen) Run(d *Dispatcher) LoadResult {
 		res.AchievedRate = float64(res.Events) / wall.Seconds()
 	}
 	return res
+}
+
+// runStream is the binary-stream replay: it walks the trace in due-batches —
+// maximal runs of events already ingestible at the current clock — encodes
+// each as one wire frame, decodes it into a reused buffer, and batch-ingests
+// it. Ticking happens exactly when the per-event loop would tick (before the
+// first not-yet-due event), so both transports admit every event at the same
+// planning instant.
+func (g LoadGen) runStream(d *Dispatcher) LoadResult {
+	batchCap := g.Batch
+	if batchCap <= 0 {
+		batchCap = 256
+	}
+	var interval time.Duration
+	if g.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / g.Rate)
+	}
+	var (
+		batch   = make([]wire.Event, 0, batchCap)
+		decoded = make([]wire.Event, 0, batchCap)
+		frame   []byte
+	)
+	start := time.Now()
+	next := start
+	for i := 0; i < len(g.Events); {
+		for d.Now() < g.Events[i].Time {
+			d.Tick()
+		}
+		now := d.Now()
+		batch = batch[:0]
+		for i < len(g.Events) && len(batch) < batchCap && g.Events[i].Time <= now {
+			batch = append(batch, wireEvent(g.Events[i]))
+			i++
+		}
+		var err error
+		if frame, err = wire.AppendFrame(frame[:0], batch); err != nil {
+			panic(fmt.Sprintf("loadgen: trace event does not encode: %v", err))
+		}
+		if decoded, _, err = wire.DecodeFrame(frame, decoded[:0]); err != nil {
+			panic(fmt.Sprintf("loadgen: frame does not decode: %v", err))
+		}
+		if _, rej := d.IngestBatch(decoded); rej > 0 {
+			panic(fmt.Sprintf("loadgen: %d trace events rejected by IngestBatch", rej))
+		}
+		if interval > 0 {
+			next = next.Add(time.Duration(len(batch)) * interval)
+			if wait := time.Until(next); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+	}
+	d.Advance(g.T1)
+	wall := time.Since(start)
+	m := d.Snapshot()
+	res := LoadResult{
+		Events: len(g.Events), Wall: wall,
+		Shed: m.Shed, Deferred: m.Deferred, Metrics: m,
+	}
+	if wall > 0 {
+		res.AchievedRate = float64(res.Events) / wall.Seconds()
+	}
+	return res
+}
+
+// wireEvent converts one trace event to its wire form.
+func wireEvent(ev workload.Event) wire.Event {
+	switch ev.Kind {
+	case workload.WorkerOnline:
+		w := ev.Worker
+		return wire.Event{
+			Time: ev.Time, Kind: wire.WorkerOnline, ID: int64(w.ID),
+			X: w.Loc.X, Y: w.Loc.Y, Reach: w.Reach, On: w.On, Off: w.Off,
+		}
+	case workload.TaskSubmit:
+		s := ev.Task
+		return wire.Event{
+			Time: ev.Time, Kind: wire.TaskSubmit, ID: int64(s.ID),
+			X: s.Loc.X, Y: s.Loc.Y, Pub: s.Pub, Exp: s.Exp,
+		}
+	}
+	panic(fmt.Sprintf("loadgen: unknown trace event kind %v", ev.Kind))
 }

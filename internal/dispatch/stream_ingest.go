@@ -1,0 +1,176 @@
+package dispatch
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/wire"
+)
+
+// StreamSummary accounts one streamed ingest session: how many events were
+// accepted onto the queue, how many were rejected by validation, and how
+// many frames (binary) or lines (NDJSON) the session carried.
+type StreamSummary struct {
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+	Frames   int64 `json:"frames"`
+	// Time is the logical instant of the next epoch when the session ended.
+	Time float64 `json:"time"`
+}
+
+// IngestBatch validates and enqueues one decoded wire batch, returning how
+// many events were accepted and rejected. Workers and tasks are materialized
+// into two batch-sized slabs, so admitting N entities costs two allocations
+// instead of N — the dispatcher retains pointers into the slabs exactly as
+// it would retain individually-boxed entities. Safe for concurrent use, like
+// Ingest.
+//
+// Validation mirrors the HTTP endpoints: worker events need a positive id,
+// positive reach, and a non-empty availability window; task submits need an
+// id in [0, 2^30) — 0 draws a server-assigned id — and a non-empty validity
+// window. An event with time 0 is stamped with the next epoch instant, so
+// clients that only relay "now" events never have to track the logical
+// clock. Rejected events are counted, never partially applied.
+func (d *Dispatcher) IngestBatch(events []wire.Event) (accepted, rejected int) {
+	var nw, nt int
+	for i := range events {
+		switch events[i].Kind {
+		case wire.WorkerOnline:
+			nw++
+		case wire.TaskSubmit:
+			nt++
+		}
+	}
+	var workers []core.Worker
+	var tasks []core.Task
+	if nw > 0 {
+		workers = make([]core.Worker, 0, nw)
+	}
+	if nt > 0 {
+		tasks = make([]core.Task, 0, nt)
+	}
+	now := d.Now()
+	for i := range events {
+		ev := &events[i]
+		t := ev.Time
+		if t == 0 {
+			t = now
+		}
+		switch ev.Kind {
+		case wire.WorkerOnline:
+			if ev.ID <= 0 || int64(int(ev.ID)) != ev.ID || ev.Reach <= 0 || ev.Off <= ev.On {
+				rejected++
+				continue
+			}
+			workers = append(workers, core.Worker{
+				ID: int(ev.ID), Loc: geo.Point{X: ev.X, Y: ev.Y},
+				Reach: ev.Reach, On: ev.On, Off: ev.Off,
+			})
+			d.Ingest(Event{Time: t, Kind: KindWorkerOnline, Worker: &workers[len(workers)-1]})
+		case wire.TaskSubmit:
+			if ev.ID < 0 || ev.ID >= syntheticIDBase || ev.Exp <= ev.Pub {
+				rejected++
+				continue
+			}
+			id := int(ev.ID)
+			if id == 0 {
+				id = d.nextSyntheticID()
+			}
+			tasks = append(tasks, core.Task{
+				ID: id, Loc: geo.Point{X: ev.X, Y: ev.Y},
+				Pub: ev.Pub, Exp: ev.Exp, Cell: -1,
+			})
+			d.Ingest(Event{Time: t, Kind: KindTaskSubmit, Task: &tasks[len(tasks)-1]})
+		case wire.WorkerOffline:
+			if int64(int(ev.ID)) != ev.ID {
+				rejected++
+				continue
+			}
+			d.Ingest(Event{Time: t, Kind: KindWorkerOffline, ID: int(ev.ID)})
+		case wire.TaskCancel:
+			if int64(int(ev.ID)) != ev.ID {
+				rejected++
+				continue
+			}
+			d.Ingest(Event{Time: t, Kind: KindTaskCancel, ID: int(ev.ID)})
+		case wire.Position:
+			if int64(int(ev.ID)) != ev.ID || math.IsNaN(ev.X) || math.IsNaN(ev.Y) {
+				rejected++
+				continue
+			}
+			d.Ingest(Event{Time: t, Kind: KindPosition, ID: int(ev.ID), Loc: geo.Point{X: ev.X, Y: ev.Y}})
+		default:
+			rejected++
+			continue
+		}
+		accepted++
+	}
+	return accepted, rejected
+}
+
+// ConsumeStream ingests a batched event stream from r until EOF: binary wire
+// frames or NDJSON lines, sniffed from the first byte. This is the shared
+// engine behind POST /v1/stream and the raw-TCP listener — one persistent
+// connection carries any number of frames, each decoded into a reused buffer
+// and batch-ingested. A protocol violation stops the session and returns the
+// error alongside the counts accumulated so far; a clean EOF returns nil.
+func (d *Dispatcher) ConsumeStream(r io.Reader) (StreamSummary, error) {
+	var sum StreamSummary
+	br := bufio.NewReaderSize(r, 32<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		sum.Time = d.Now()
+		if err == io.EOF {
+			return sum, nil // empty stream: zero events, no protocol to violate
+		}
+		return sum, err
+	}
+	if wire.IsBinary(first[0]) {
+		dec := wire.NewDecoder(br)
+		for {
+			batch, err := dec.Next()
+			if err != nil {
+				sum.Time = d.Now()
+				if err == io.EOF {
+					return sum, nil
+				}
+				return sum, err
+			}
+			sum.Frames++
+			a, rej := d.IngestBatch(batch)
+			sum.Accepted += int64(a)
+			sum.Rejected += int64(rej)
+		}
+	}
+	// NDJSON fallback: one event per line, batched per line.
+	dec := wire.NewNDJSONDecoder(br)
+	var one [1]wire.Event
+	for {
+		ev, err := dec.Next()
+		if err != nil {
+			sum.Time = d.Now()
+			if err == io.EOF {
+				return sum, nil
+			}
+			return sum, err
+		}
+		sum.Frames++
+		one[0] = ev
+		a, rej := d.IngestBatch(one[:])
+		sum.Accepted += int64(a)
+		sum.Rejected += int64(rej)
+	}
+}
+
+// IsProtocolError reports whether a ConsumeStream error is a wire-protocol
+// violation (as opposed to a transport failure): the caller should answer
+// 400, not 500, and drop the connection.
+func IsProtocolError(err error) bool {
+	return errors.Is(err, wire.ErrMagic) || errors.Is(err, wire.ErrVersion) ||
+		errors.Is(err, wire.ErrMalformed) || errors.Is(err, wire.ErrTooLarge) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}

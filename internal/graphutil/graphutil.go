@@ -30,6 +30,37 @@ func New(n int) *Graph {
 // N returns the vertex count.
 func (g *Graph) N() int { return g.n }
 
+// Reset reinitializes g to an empty graph on n vertices, reusing the
+// adjacency storage of earlier generations — the zero-steady-state-allocation
+// path for callers that rebuild a graph every planning instant. The zero
+// Graph value is valid input.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("graphutil: negative vertex count %d", n))
+	}
+	g.n = n
+	if cap(g.adj) < n {
+		g.adj = make([]map[int]struct{}, n)
+		return
+	}
+	// Clearing after the reslice also covers maps re-exposed by growing back
+	// within capacity, which may hold edges from an older, larger graph.
+	g.adj = g.adj[:n]
+	for _, a := range g.adj {
+		clear(a)
+	}
+}
+
+// EachNeighbor calls f for every neighbor of v, in unspecified order. It is
+// the allocation-free alternative to Neighbors for callers that sort or
+// aggregate on their own.
+func (g *Graph) EachNeighbor(v int, f func(u int)) {
+	g.check(v)
+	for u := range g.adj[v] {
+		f(u)
+	}
+}
+
 // AddEdge inserts the undirected edge {u, v}; self-loops are ignored.
 func (g *Graph) AddEdge(u, v int) {
 	if u == v {

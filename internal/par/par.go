@@ -53,13 +53,23 @@ func Workers(parallelism, n int) int {
 //
 // fn must confine its writes to state owned by index i; Do adds no locking.
 func Do(n, parallelism int, fn func(i int)) {
+	DoWorker(n, parallelism, func(_, i int) { fn(i) })
+}
+
+// DoWorker is Do with the executing goroutine's index threaded through: fn
+// receives (g, i) where g identifies the worker goroutine running job i, in
+// [0, Workers(parallelism, n)). Callers use g to give each goroutine private
+// scratch buffers without locking — job results must still land in state
+// owned by index i, so outputs stay order-independent; only reusable scratch
+// may be keyed by g. The serial path always passes g = 0.
+func DoWorker(n, parallelism int, fn func(g, i int)) {
 	if n <= 0 {
 		return
 	}
 	workers := Workers(parallelism, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -67,16 +77,16 @@ func Do(n, parallelism int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for g := 0; g < workers; g++ {
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(g, i)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 }

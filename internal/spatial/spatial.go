@@ -31,7 +31,7 @@ package spatial
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/geo"
@@ -47,21 +47,25 @@ import (
 // so a point outside the region reaches only the cells its disk truly
 // overlaps (unlike Grid.CellOf, which clamps).
 func CellsInDisk(g geo.Grid, p geo.Point, r float64) []int {
+	return AppendCellsInDisk(nil, g, p, r)
+}
+
+// AppendCellsInDisk is CellsInDisk appending into dst, so per-worker loops
+// (the incremental planner's partition, dirty-disk marking) can reuse one
+// buffer across calls instead of allocating a fresh slice per disk query.
+func AppendCellsInDisk(dst []int, g geo.Grid, p geo.Point, r float64) []int {
 	if r < 0 || math.IsNaN(r) || math.IsInf(r, 1) {
 		if math.IsInf(r, 1) {
-			out := make([]int, g.Cells())
-			for i := range out {
-				out[i] = i
+			for i := 0; i < g.Cells(); i++ {
+				dst = append(dst, i)
 			}
-			return out
 		}
-		return nil
+		return dst
 	}
 	c0 := g.CellOf(geo.Point{X: p.X - r, Y: p.Y - r})
 	c1 := g.CellOf(geo.Point{X: p.X + r, Y: p.Y + r})
 	row0, col0 := c0/g.Cols, c0%g.Cols
 	row1, col1 := c1/g.Cols, c1%g.Cols
-	var out []int
 	for row := row0; row <= row1; row++ {
 		for col := col0; col <= col1; col++ {
 			i := row*g.Cols + col
@@ -74,24 +78,27 @@ func CellsInDisk(g geo.Grid, p geo.Point, r float64) []int {
 			dx := math.Max(0, math.Max(rect.MinX-p.X, p.X-rect.MaxX))
 			dy := math.Max(0, math.Max(rect.MinY-p.Y, p.Y-rect.MaxY))
 			if dx*dx+dy*dy <= r*r {
-				out = append(out, i)
+				dst = append(dst, i)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
-// Index is a uniform grid over a fixed set of tasks. It is immutable after
-// construction and safe for concurrent queries from multiple goroutines.
+// Index is a uniform grid over a fixed set of tasks. Between Reset calls it
+// is immutable and safe for concurrent queries from multiple goroutines.
 type Index struct {
 	tasks []*core.Task
 	cell  float64
 	// origin anchors cell (0,0); using the data's own min corner keeps cell
 	// coordinates small and well-conditioned.
 	originX, originY float64
-	// buckets maps packed cell coordinates to indices into tasks, each
-	// bucket in ascending task order.
-	buckets map[uint64][]int32
+	// buckets maps packed cell coordinates to a start<<32|end range into
+	// order; order holds task indices grouped by cell, ascending within each
+	// group. The range encoding (instead of a slice per bucket) is what lets
+	// Reset rebuild the index every planning instant without allocating.
+	buckets map[uint64]uint64
+	order   []int32
 	// flat is the no-grid fallback used when the cell size is unusable
 	// (no tasks, or a non-positive/non-finite cell): every query scans all
 	// tasks, preserving exactness.
@@ -118,22 +125,52 @@ func CellSizeForReach(workers []*core.Worker) float64 {
 // grid), so callers never need to special-case zero-reach instants. The
 // tasks slice is retained but not mutated.
 func NewIndex(tasks []*core.Task, cellSize float64) *Index {
-	ix := &Index{tasks: tasks, cell: cellSize}
+	ix := &Index{}
+	ix.Reset(tasks, cellSize)
+	return ix
+}
+
+// Reset rebuilds the index in place over a new task set and cell size,
+// reusing the bucket map and index storage of previous generations. It is
+// the steady-state path for planners that index the open pool once per
+// instant; queries from other goroutines must not overlap a Reset.
+func (ix *Index) Reset(tasks []*core.Task, cellSize float64) {
+	ix.tasks = tasks
+	ix.cell = cellSize
+	ix.flat = false
 	if len(tasks) == 0 || cellSize <= 0 || math.IsInf(cellSize, 1) || math.IsNaN(cellSize) {
 		ix.flat = true
-		return ix
+		return
 	}
 	ix.originX, ix.originY = tasks[0].Loc.X, tasks[0].Loc.Y
 	for _, t := range tasks {
 		ix.originX = math.Min(ix.originX, t.Loc.X)
 		ix.originY = math.Min(ix.originY, t.Loc.Y)
 	}
-	ix.buckets = make(map[uint64][]int32, len(tasks))
+	if ix.buckets == nil {
+		ix.buckets = make(map[uint64]uint64, len(tasks))
+	} else {
+		clear(ix.buckets)
+	}
+	// Counting sort into the order array: per-bucket counts, then cursors
+	// (start<<32|next), then an ascending fill — which leaves every value as
+	// start<<32|end and every group in ascending task order.
+	for _, t := range tasks {
+		key := ix.key(ix.cellCoord(t.Loc.X, ix.originX), ix.cellCoord(t.Loc.Y, ix.originY))
+		ix.buckets[key]++
+	}
+	var total uint64
+	for key, count := range ix.buckets {
+		ix.buckets[key] = total<<32 | total
+		total += count
+	}
+	ix.order = slices.Grow(ix.order[:0], len(tasks))[:len(tasks)]
 	for i, t := range tasks {
 		key := ix.key(ix.cellCoord(t.Loc.X, ix.originX), ix.cellCoord(t.Loc.Y, ix.originY))
-		ix.buckets[key] = append(ix.buckets[key], int32(i))
+		v := ix.buckets[key]
+		ix.order[uint32(v)] = int32(i)
+		ix.buckets[key] = v + 1
 	}
-	return ix
 }
 
 // Len returns the number of indexed tasks.
@@ -192,18 +229,25 @@ func (ix *Index) AppendWithin(dst []*core.Task, p geo.Point, r float64) []*core.
 	cy1 := ix.cellCoord(p.Y+r, ix.originY)
 
 	// Collect candidate indices cell by cell, then restore construction
-	// order so the result is identical to the brute-force scan's.
-	var hits []int32
+	// order so the result is identical to the brute-force scan's. The stack
+	// buffer covers typical per-query candidate counts, so the steady-state
+	// planning loop performs no heap allocation here.
+	var hitsBuf [64]int32
+	hits := hitsBuf[:0]
 	for cx := cx0; cx <= cx1; cx++ {
 		for cy := cy0; cy <= cy1; cy++ {
-			for _, i := range ix.buckets[ix.key(cx, cy)] {
+			v, ok := ix.buckets[ix.key(cx, cy)]
+			if !ok {
+				continue
+			}
+			for _, i := range ix.order[v>>32 : uint32(v)] {
 				if geo.Dist(p, ix.tasks[i].Loc) <= r {
 					hits = append(hits, i)
 				}
 			}
 		}
 	}
-	sort.Slice(hits, func(a, b int) bool { return hits[a] < hits[b] })
+	slices.Sort(hits)
 	for _, i := range hits {
 		dst = append(dst, ix.tasks[i])
 	}

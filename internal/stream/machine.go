@@ -3,7 +3,7 @@ package stream
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/assign"
@@ -157,6 +157,15 @@ type Machine struct {
 	// planning instants with no plannable worker leave it accumulating.
 	dp    assign.DirtyPlanner
 	dirty map[int]struct{}
+
+	// Per-Step scratch, reused so a steady-state Step allocates only what it
+	// publishes (plans, commit logs). The machine is single-goroutine, so one
+	// set of buffers suffices.
+	cellScratch []int
+	planScratch []*workerState
+	wsScratch   []*core.Worker
+	poolScratch []*core.Task
+	assignedMap map[int]core.Sequence
 }
 
 // Commit records one real-task commitment made during a Step, for cross-
@@ -230,7 +239,8 @@ func (m *Machine) markDisk(p geo.Point, reach float64) {
 	if m.dp == nil {
 		return
 	}
-	for _, c := range assign.WorkerCells(m.cfg.DirtyGrid, p, reach) {
+	m.cellScratch = assign.AppendWorkerCells(m.cellScratch[:0], m.cfg.DirtyGrid, p, reach)
+	for _, c := range m.cellScratch {
 		m.dirty[c] = struct{}{}
 	}
 }
@@ -566,7 +576,9 @@ func (m *Machine) completeMotions(t float64) {
 // cross-shard drop) an id can be reused within the same epoch batch, and an
 // id-only check would resurrect the closed entry alongside the new task.
 func (m *Machine) evict(t float64) {
-	var keptTasks []*core.Task
+	// All three filters compact in place (write index trails read index) and
+	// clear the tail so dropped pointers do not outlive their entries.
+	keptTasks := m.openOrder[:0]
 	for _, s := range m.openOrder {
 		if m.open[s.ID] != s {
 			continue
@@ -589,9 +601,10 @@ func (m *Machine) evict(t float64) {
 		}
 		keptTasks = append(keptTasks, s)
 	}
+	clear(m.openOrder[len(keptTasks):])
 	m.openOrder = keptTasks
 
-	var kept []*workerState
+	kept := m.active[:0]
 	for _, ws := range m.active {
 		// Workers finishing a committed task stay until arrival (validity
 		// guaranteed completion before off); all others leave at off.
@@ -604,9 +617,12 @@ func (m *Machine) evict(t float64) {
 		}
 		kept = append(kept, ws)
 	}
+	clear(m.active[len(kept):])
 	m.active = kept
 
-	var keptVirtual []*core.Task
+	// The machine owns m.virtuals (replaceVirtuals documents the handoff),
+	// so expiring entries compact in place too.
+	keptVirtual := m.virtuals[:0]
 	for _, v := range m.virtuals {
 		if v.Exp > t {
 			keptVirtual = append(keptVirtual, v)
@@ -614,6 +630,7 @@ func (m *Machine) evict(t float64) {
 			m.markCell(v.Loc)
 		}
 	}
+	clear(m.virtuals[len(keptVirtual):])
 	m.virtuals = keptVirtual
 }
 
@@ -673,7 +690,9 @@ func (m *Machine) SetVirtuals(v []*core.Task) {
 
 // replaceVirtuals swaps the virtual-task set, dirtying the cells of both the
 // outgoing and incoming virtuals: either side can change a cached
-// component's planning pool.
+// component's planning pool. The machine takes ownership of v — expiry
+// eviction compacts it in place — so callers must hand over a slice they will
+// not read again (every Forecaster builds a fresh one per call).
 func (m *Machine) replaceVirtuals(v []*core.Task) {
 	for _, old := range m.virtuals {
 		m.markCell(old.Loc)
@@ -686,7 +705,7 @@ func (m *Machine) replaceVirtuals(v []*core.Task) {
 
 // plan runs one planning instant (Algorithm 4 via the configured planner).
 func (m *Machine) plan(t float64) {
-	var planners []*workerState
+	planners := m.planScratch[:0]
 	for _, ws := range m.active {
 		if ws.committed != nil {
 			continue // executing a real task: not interruptible
@@ -703,34 +722,37 @@ func (m *Machine) plan(t float64) {
 		}
 		planners = append(planners, ws)
 	}
+	m.planScratch = planners
 	if len(planners) == 0 {
 		return
 	}
-	sort.Slice(planners, func(i, j int) bool { return planners[i].w.ID < planners[j].w.ID })
+	slices.SortFunc(planners, func(a, b *workerState) int { return a.w.ID - b.w.ID })
 
 	// Refresh worker locations to their positions now; repositioning
 	// workers are interrupted at their current point — a position change the
 	// dirty set must see before the planner runs.
-	workers := make([]*core.Worker, len(planners))
-	for i, ws := range planners {
+	workers := m.wsScratch[:0]
+	for _, ws := range planners {
 		ws.w.Loc = ws.pos(t)
 		if ws.moving && ws.committed == nil {
 			ws.moving = false
 			m.markDisk(ws.w.Loc, ws.w.Reach)
 		}
-		workers[i] = ws.w
+		workers = append(workers, ws.w)
 	}
+	m.wsScratch = workers
 
 	// Planning pool: open unreserved real tasks plus current virtuals. The
 	// identity check (not just id membership) keeps a stale openOrder entry
 	// for a closed-and-reused id out of the pool.
-	var pool []*core.Task
+	pool := m.poolScratch[:0]
 	for _, s := range m.openOrder {
 		if m.open[s.ID] == s && !m.reserved[s.ID] {
 			pool = append(pool, s)
 		}
 	}
 	pool = append(pool, m.virtuals...)
+	m.poolScratch = pool
 
 	start := time.Now()
 	var plan core.Plan
@@ -749,7 +771,12 @@ func (m *Machine) plan(t float64) {
 
 	// Adaptive semantics: every replannable worker's sequence is replaced
 	// by the new plan (or cleared). Fixed semantics: assigned workers lock.
-	assigned := make(map[int]core.Sequence, len(plan))
+	if m.assignedMap == nil {
+		m.assignedMap = make(map[int]core.Sequence, len(plan))
+	} else {
+		clear(m.assignedMap)
+	}
+	assigned := m.assignedMap
 	for _, a := range plan {
 		assigned[a.Worker.ID] = a.Seq
 	}

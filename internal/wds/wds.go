@@ -8,6 +8,7 @@
 package wds
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/core"
@@ -73,7 +74,8 @@ func (o Options) WithDefaults() Options {
 // answer the same query through a spatial grid index, scanning only the
 // tasks near w, with identical results.
 func ReachableTasks(w *core.Worker, tasks []*core.Task, now float64, o Options) []*core.Task {
-	return reachableFrom(w, tasks, now, o.WithDefaults())
+	var sc Scratch
+	return sc.reachableFrom(w, tasks, now, o.WithDefaults())
 }
 
 // ReachableTasksIndexed returns RS_w exactly as ReachableTasks does, but
@@ -81,29 +83,68 @@ func ReachableTasks(w *core.Worker, tasks []*core.Task, now float64, o Options) 
 // only tasks within w.Reach of w.Loc are examined, so the per-worker cost is
 // O(k) in the local task count rather than O(|T|).
 func ReachableTasksIndexed(w *core.Worker, ix *spatial.Index, now float64, o Options) []*core.Task {
+	var sc Scratch
+	return sc.ReachableTasksIndexed(w, ix, now, o)
+}
+
+// Scratch holds the reusable intermediate buffers of the per-worker
+// reachable-set and sequence computations, so steady-state planning loops
+// (a planner calling these once per worker per instant) allocate only their
+// results, never their scratch. A Scratch serves one goroutine at a time;
+// Separate keeps one per worker goroutine, planners one per instance. The
+// zero value is ready to use.
+type Scratch struct {
+	cands   []*core.Task // spatial-index query results
+	keep    []cand       // reachableFrom's filtered candidates
+	used    []bool       // sequence-extension membership flags
+	cur     core.Sequence
+	entries []seqEntry       // per task-set best orderings (bitmask path)
+	bests   map[uint64]int32 // task-set bitmask → index into entries
+}
+
+// cand pairs a reachable task with its distance for the sort in
+// reachableFrom.
+type cand struct {
+	t *core.Task
+	d float64
+}
+
+// seqEntry is one deduped task set with its best (minimal-completion)
+// ordering.
+type seqEntry struct {
+	seq        core.Sequence
+	completion float64
+}
+
+// ReachableTasks is the scratch-reusing form of the package function.
+func (sc *Scratch) ReachableTasks(w *core.Worker, tasks []*core.Task, now float64, o Options) []*core.Task {
+	return sc.reachableFrom(w, tasks, now, o.WithDefaults())
+}
+
+// ReachableTasksIndexed is the scratch-reusing form of the package function.
+func (sc *Scratch) ReachableTasksIndexed(w *core.Worker, ix *spatial.Index, now float64, o Options) []*core.Task {
 	o = o.WithDefaults()
 	if !w.Available(now) {
 		return nil
 	}
 	// Condition (iii) bounds every reachable task to the disc of radius
 	// w.Reach; conditions (i)/(ii) only filter further.
-	return reachableFrom(w, ix.Within(w.Loc, w.Reach), now, o)
+	sc.cands = ix.AppendWithin(sc.cands[:0], w.Loc, w.Reach)
+	out := sc.reachableFrom(w, sc.cands, now, o)
+	clear(sc.cands) // release task pointers held by the scratch buffer
+	return out
 }
 
 // reachableFrom applies the Section IV-A.1 constraints to a candidate pool.
 // Candidates must be a superset of the disc of radius w.Reach around w.Loc
 // intersected with the pool the caller reasons about; the exact filter here
 // makes the brute-force and indexed paths interchangeable.
-func reachableFrom(w *core.Worker, cands []*core.Task, now float64, o Options) []*core.Task {
+func (sc *Scratch) reachableFrom(w *core.Worker, cands []*core.Task, now float64, o Options) []*core.Task {
 	if !w.Available(now) {
 		return nil
 	}
 	window := w.Off - now
-	type cand struct {
-		t *core.Task
-		d float64
-	}
-	var keep []cand
+	keep := sc.keep[:0]
 	for _, s := range cands {
 		if s.Exp <= now {
 			continue
@@ -121,11 +162,18 @@ func reachableFrom(w *core.Worker, cands []*core.Task, now float64, o Options) [
 		}
 		keep = append(keep, cand{s, d})
 	}
-	sort.Slice(keep, func(i, j int) bool {
-		if keep[i].d != keep[j].d {
-			return keep[i].d < keep[j].d
+	slices.SortFunc(keep, func(a, b cand) int {
+		switch {
+		case a.d < b.d:
+			return -1
+		case a.d > b.d:
+			return 1
+		case a.t.ID < b.t.ID:
+			return -1
+		case a.t.ID > b.t.ID:
+			return 1
 		}
-		return keep[i].t.ID < keep[j].t.ID
+		return 0
 	})
 	if len(keep) > o.MaxReachable {
 		keep = keep[:o.MaxReachable]
@@ -134,6 +182,8 @@ func reachableFrom(w *core.Worker, cands []*core.Task, now float64, o Options) [
 	for i, c := range keep {
 		out[i] = c.t
 	}
+	sc.keep = keep[:0]
+	clear(keep[:cap(keep)]) // release task pointers held by the scratch buffer
 	return out
 }
 
@@ -147,7 +197,110 @@ func reachableFrom(w *core.Worker, cands []*core.Task, now float64, o Options) [
 // extension violates Definition 4, which is sound because validity is
 // prefix-closed.
 func MaximalValidSequences(w *core.Worker, rs []*core.Task, now float64, o Options) []core.Sequence {
+	var sc Scratch
+	return sc.MaximalValidSequences(w, rs, now, o)
+}
+
+// MaximalValidSequences is the scratch-reusing form of the package function:
+// every intermediate structure — the per-set dedup table, the extension
+// stack, the usage flags — lives in the Scratch, so a planner's steady-state
+// per-worker loop allocates only the returned sequences. An empty reachable
+// set (the common case on sparse workloads) returns nil without touching the
+// scratch at all.
+func (sc *Scratch) MaximalValidSequences(w *core.Worker, rs []*core.Task, now float64, o Options) []core.Sequence {
+	if len(rs) == 0 {
+		return nil
+	}
 	o = o.WithDefaults()
+	if len(rs) > 64 {
+		return maximalValidSequencesByKey(w, rs, now, o)
+	}
+	// Task sets over at most 64 reachable tasks dedup by bitmask over rs
+	// indices — rs holds distinct tasks, so equal masks ⟺ equal id sets,
+	// exactly the SetKey equivalence without the string allocations.
+	if sc.bests == nil {
+		sc.bests = make(map[uint64]int32, 64)
+	} else {
+		clear(sc.bests)
+	}
+	entries := sc.entries[:0]
+	if cap(sc.used) < len(rs) {
+		sc.used = make([]bool, len(rs))
+	}
+	used := sc.used[:len(rs)]
+	clear(used)
+	cur := sc.cur[:0]
+
+	var extend func(loc geo.Point, t float64, mask uint64)
+	extend = func(loc geo.Point, t float64, mask uint64) {
+		if len(cur) > 0 {
+			if i, ok := sc.bests[mask]; !ok {
+				sc.bests[mask] = int32(len(entries))
+				entries = append(entries, seqEntry{seq: cur.Clone(), completion: t})
+			} else if t < entries[i].completion {
+				entries[i] = seqEntry{seq: cur.Clone(), completion: t}
+			}
+		}
+		if len(cur) >= o.MaxSeqLen {
+			return
+		}
+		for i, s := range rs {
+			if used[i] {
+				continue
+			}
+			arrive := t + o.Travel.Time(loc, s.Loc)
+			if arrive < s.Pub {
+				arrive = s.Pub
+			}
+			if arrive >= s.Exp || arrive >= w.Off {
+				continue
+			}
+			if geo.Dist(w.Loc, s.Loc) > w.Reach {
+				continue
+			}
+			used[i] = true
+			cur = append(cur, s)
+			extend(s.Loc, arrive, mask|1<<uint(i))
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	extend(w.Loc, now, 0)
+	sc.cur = cur[:0]
+
+	slices.SortFunc(entries, func(a, b seqEntry) int {
+		if len(a.seq) != len(b.seq) {
+			return len(b.seq) - len(a.seq)
+		}
+		switch {
+		case a.completion < b.completion:
+			return -1
+		case a.completion > b.completion:
+			return 1
+		case lessIDs(a.seq, b.seq):
+			return -1
+		case lessIDs(b.seq, a.seq):
+			return 1
+		}
+		return 0
+	})
+	n := len(entries)
+	if n > o.MaxSequences {
+		n = o.MaxSequences
+	}
+	out := make([]core.Sequence, n)
+	for i := range out {
+		out[i] = entries[i].seq
+	}
+	sc.entries = entries[:0]
+	clear(entries[:cap(entries)]) // release the sequences held by the scratch
+	return out
+}
+
+// maximalValidSequencesByKey is the SetKey-deduped fallback for reachable
+// sets too large for a 64-bit index mask (only possible with MaxReachable
+// raised past 64).
+func maximalValidSequencesByKey(w *core.Worker, rs []*core.Task, now float64, o Options) []core.Sequence {
 	type best struct {
 		seq        core.Sequence
 		completion float64
@@ -254,6 +407,21 @@ func (n *TreeNode) AllWorkers() []*core.Worker {
 	return out
 }
 
+// EachWorker visits every worker in the subtree in AllWorkers order without
+// materializing the slice — the allocation-free walk used by per-tree setup
+// loops that run once per planning instant.
+func (n *TreeNode) EachWorker(f func(*core.Worker)) {
+	if n == nil {
+		return
+	}
+	for _, w := range n.Workers {
+		f(w)
+	}
+	for _, c := range n.Children {
+		c.EachWorker(f)
+	}
+}
+
 // Size returns the number of workers in the subtree.
 func (n *TreeNode) Size() int { return len(n.AllWorkers()) }
 
@@ -282,56 +450,119 @@ func (n *TreeNode) Depth() int {
 // loop fans out across o.Parallelism goroutines. Both switches change only
 // the cost of the call — the Separation is identical at every setting.
 func Separate(workers []*core.Worker, tasks []*core.Task, now float64, o Options) *Separation {
+	var sp Separator
+	return sp.Separate(workers, tasks, now, o)
+}
+
+// Separator runs the WDS pipeline with every intermediate structure — the
+// per-goroutine scratch, the spatial index, the dependency graph, the RTC
+// builder, and the Separation's own maps — reused across calls, so a planner
+// invoking it once per instant allocates only the per-worker results. The
+// returned Separation is owned by the Separator and valid until the next
+// Separate call; callers that retain it across instants must use the package
+// function instead. The zero value is ready to use.
+type Separator struct {
+	scr   []Scratch
+	rs    [][]*core.Task
+	qs    [][]core.Sequence
+	pairs []taskWorker
+	ix    spatial.Index
+	g     graphutil.Graph
+	b     treeBuilder
+	sep   Separation
+}
+
+// taskWorker is one (task, worker-index) incidence of the reachable relation.
+type taskWorker struct {
+	task int
+	w    int32
+}
+
+// Separate is the scratch-reusing form of the package function; see the
+// Separator doc for the ownership contract of the result.
+func (sp *Separator) Separate(workers []*core.Worker, tasks []*core.Task, now float64, o Options) *Separation {
 	o = o.WithDefaults()
-	sep := &Separation{
-		Workers:   workers,
-		Reachable: make(map[int][]*core.Task, len(workers)),
-		Sequences: make(map[int][]core.Sequence, len(workers)),
+	sep := &sp.sep
+	sep.Workers = workers
+	if sep.Reachable == nil {
+		sep.Reachable = make(map[int][]*core.Task, len(workers))
+		sep.Sequences = make(map[int][]core.Sequence, len(workers))
+	} else {
+		clear(sep.Reachable)
+		clear(sep.Sequences)
 	}
+	clear(sep.Forest)
+	sep.Forest = sep.Forest[:0]
+
 	var ix *spatial.Index
 	if !o.BruteForce {
-		ix = spatial.NewIndex(tasks, spatial.CellSizeForReach(workers))
+		sp.ix.Reset(tasks, spatial.CellSizeForReach(workers))
+		ix = &sp.ix
 	}
 	// Each worker's RS_w and Q_w depend only on that worker and the shared
 	// read-only pool, so the loop is embarrassingly parallel; results land
 	// in per-index slots and the maps are filled afterwards.
-	rs := make([][]*core.Task, len(workers))
-	qs := make([][]core.Sequence, len(workers))
-	par.Do(len(workers), o.Parallelism, func(i int) {
+	rs := slices.Grow(sp.rs[:0], len(workers))[:len(workers)]
+	qs := slices.Grow(sp.qs[:0], len(workers))[:len(workers)]
+	sp.rs, sp.qs = rs, qs
+	for len(sp.scr) < par.Workers(o.Parallelism, len(workers)) {
+		sp.scr = append(sp.scr, Scratch{})
+	}
+	par.DoWorker(len(workers), o.Parallelism, func(g, i int) {
+		sc := &sp.scr[g]
 		w := workers[i]
 		if ix != nil {
-			rs[i] = ReachableTasksIndexed(w, ix, now, o)
+			rs[i] = sc.ReachableTasksIndexed(w, ix, now, o)
 		} else {
-			rs[i] = reachableFrom(w, tasks, now, o)
+			rs[i] = sc.reachableFrom(w, tasks, now, o)
 		}
-		qs[i] = MaximalValidSequences(w, rs[i], now, o)
+		qs[i] = sc.MaximalValidSequences(w, rs[i], now, o)
 	})
 	for i, w := range workers {
 		sep.Reachable[w.ID] = rs[i]
 		sep.Sequences[w.ID] = qs[i]
 	}
 
-	// Dependency graph: invert the reachable relation task → workers, then
-	// connect workers sharing any task. This is O(Σ|RS| + edges) instead of
-	// the paper's O(|W|²·|RS|) pairwise scan.
-	sep.Graph = graphutil.New(len(workers))
-	byTask := make(map[int][]int)
+	// Dependency graph: invert the reachable relation task → workers by
+	// sorting the incidence pairs (grouping replaces the former map of
+	// per-task worker lists), then connect workers sharing any task. This is
+	// O(Σ|RS| log Σ|RS| + edges) instead of the paper's O(|W|²·|RS|)
+	// pairwise scan.
+	sp.g.Reset(len(workers))
+	sep.Graph = &sp.g
+	pairs := sp.pairs[:0]
 	for idx, w := range workers {
 		for _, s := range sep.Reachable[w.ID] {
-			byTask[s.ID] = append(byTask[s.ID], idx)
+			pairs = append(pairs, taskWorker{task: s.ID, w: int32(idx)})
 		}
 	}
-	for _, ws := range byTask {
-		for i := 0; i < len(ws); i++ {
-			for j := i + 1; j < len(ws); j++ {
-				sep.Graph.AddEdge(ws[i], ws[j])
+	sp.pairs = pairs
+	slices.SortFunc(pairs, func(a, b taskWorker) int {
+		if a.task != b.task {
+			if a.task < b.task {
+				return -1
+			}
+			return 1
+		}
+		return int(a.w) - int(b.w)
+	})
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		for j < len(pairs) && pairs[j].task == pairs[i].task {
+			j++
+		}
+		for a := i; a < j; a++ {
+			for b := a + 1; b < j; b++ {
+				sep.Graph.AddEdge(int(pairs[a].w), int(pairs[b].w))
 			}
 		}
+		i = j
 	}
 
-	builder := newTreeBuilder(sep.Graph)
-	for _, comp := range sep.Graph.Components(nil) {
-		sep.Forest = append(sep.Forest, builder.build(comp, workers))
+	sp.b.init(sep.Graph)
+	flat, offs := sp.b.components()
+	for i := 0; i+1 < len(offs); i++ {
+		sep.Forest = append(sep.Forest, sp.b.build(flat[offs[i]:offs[i+1]], workers))
 	}
 	return sep
 }
@@ -349,27 +580,92 @@ type treeBuilder struct {
 	removed []bool
 	seen    []bool
 	queue   []int32
+	touched []int32
+	// Arenas for the construction's results: tree nodes and the node.Workers
+	// backing. Both live until the next init call (the Separation's
+	// lifetime), so steady-state tree building allocates only on growth.
+	// Each node's Workers span is completed before any other node starts
+	// (cliques are installed before recursing), which keeps the spans
+	// contiguous; grown-over backings stay alive through the tree's own
+	// pointers.
+	nodes    []TreeNode
+	warena   []*core.Worker
+	compFlat []int
+	compOffs []int32
 }
 
-func newTreeBuilder(g *graphutil.Graph) *treeBuilder {
+// init (re)binds the builder to a graph, rebuilding the CSR adjacency and
+// resetting the arenas; dense scratch is reused across generations (the
+// traversal invariants leave it all-false).
+func (b *treeBuilder) init(g *graphutil.Graph) {
 	n := g.N()
-	b := &treeBuilder{
-		g:       g,
-		offs:    make([]int32, n+1),
-		inComp:  make([]bool, n),
-		removed: make([]bool, n),
-		seen:    make([]bool, n),
+	b.g = g
+	if cap(b.inComp) < n {
+		b.inComp = make([]bool, n)
+		b.removed = make([]bool, n)
+		b.seen = make([]bool, n)
+	} else {
+		b.inComp = b.inComp[:n]
+		b.removed = b.removed[:n]
+		b.seen = b.seen[:n]
 	}
+	b.offs = append(b.offs[:0], 0)
+	b.nbrs = b.nbrs[:0]
+	add := func(u int) { b.nbrs = append(b.nbrs, int32(u)) }
 	for v := 0; v < n; v++ {
-		b.offs[v+1] = b.offs[v] + int32(g.Degree(v))
+		start := len(b.nbrs)
+		g.EachNeighbor(v, add)
+		slices.Sort(b.nbrs[start:])
+		b.offs = append(b.offs, int32(len(b.nbrs)))
 	}
-	b.nbrs = make([]int32, b.offs[n])
-	for v := 0; v < n; v++ {
-		for i, u := range g.Neighbors(v) {
-			b.nbrs[b.offs[v]+int32(i)] = int32(u)
+	clear(b.nodes)
+	b.nodes = b.nodes[:0]
+	clear(b.warena)
+	b.warena = b.warena[:0]
+}
+
+// newNode allocates a tree node from the arena. Arena growth may move the
+// backing array; nodes handed out earlier remain valid (kept alive by the
+// tree's pointers), they just no longer share storage with newer ones.
+func (b *treeBuilder) newNode() *TreeNode {
+	b.nodes = append(b.nodes, TreeNode{})
+	return &b.nodes[len(b.nodes)-1]
+}
+
+// components returns the connected components of the bound graph in
+// graphutil.Components' format — each ascending, ordered by smallest vertex —
+// materialized into builder-owned flat storage: component i is
+// flat[offs[i]:offs[i+1]]. The storage is valid until the next init call and
+// is not touched by build (nested residual components allocate their own).
+func (b *treeBuilder) components() (flat []int, offs []int32) {
+	b.compFlat = b.compFlat[:0]
+	b.compOffs = append(b.compOffs[:0], 0)
+	n := b.g.N()
+	for s := 0; s < n; s++ {
+		if b.seen[s] {
+			continue
 		}
+		start := len(b.compFlat)
+		b.queue = append(b.queue[:0], int32(s))
+		b.seen[s] = true
+		for head := 0; head < len(b.queue); head++ {
+			v := b.queue[head]
+			b.compFlat = append(b.compFlat, int(v))
+			for _, u := range b.nbrs[b.offs[v]:b.offs[v+1]] {
+				if !b.seen[u] {
+					b.seen[u] = true
+					b.queue = append(b.queue, u)
+				}
+			}
+		}
+		slices.Sort(b.compFlat[start:])
+		b.compOffs = append(b.compOffs, int32(len(b.compFlat)))
 	}
-	return b
+	// Every vertex was visited; release the seen flags for build's probes.
+	for _, v := range b.compFlat {
+		b.seen[v] = false
+	}
+	return b.compFlat, b.compOffs
 }
 
 // build applies the RTC algorithm (Section IV-A.4) to one connected
@@ -379,6 +675,24 @@ func newTreeBuilder(g *graphutil.Graph) *treeBuilder {
 func (b *treeBuilder) build(comp []int, workers []*core.Worker) *TreeNode {
 	if len(comp) == 0 {
 		return nil
+	}
+	// A 1- or 2-vertex connected component has exactly one maximal clique —
+	// the component itself — whose removal leaves nothing, so the tree is a
+	// single node. These dominate sparse instants; building them directly
+	// skips the chordal fill-in and clique machinery entirely.
+	if len(comp) == 1 {
+		node := b.newNode()
+		node.Workers = b.installWorkers(workers[comp[0]])
+		return node
+	}
+	if len(comp) == 2 {
+		u, v := workers[comp[0]], workers[comp[1]]
+		if v.ID < u.ID {
+			u, v = v, u
+		}
+		node := b.newNode()
+		node.Workers = b.installWorkers(u, v)
+		return node
 	}
 	chordal, peo := b.g.FillIn(comp)
 	cliques := graphutil.MaximalCliquesChordal(chordal, peo)
@@ -425,17 +739,27 @@ func (b *treeBuilder) build(comp []int, workers []*core.Worker) *TreeNode {
 		b.inComp[v] = false
 	}
 
-	node := &TreeNode{}
+	node := b.newNode()
+	start := len(b.warena)
 	for _, v := range cliques[bestIdx] {
-		node.Workers = append(node.Workers, workers[v])
+		b.warena = append(b.warena, workers[v])
 	}
-	sort.Slice(node.Workers, func(i, j int) bool { return node.Workers[i].ID < node.Workers[j].ID })
+	node.Workers = b.warena[start:len(b.warena):len(b.warena)]
+	slices.SortFunc(node.Workers, func(a, b *core.Worker) int { return a.ID - b.ID })
 	for _, sub := range bestResidual {
 		if child := b.build(sub, workers); child != nil {
 			node.Children = append(node.Children, child)
 		}
 	}
 	return node
+}
+
+// installWorkers appends ws to the worker arena and returns the span as a
+// capacity-capped slice (nothing can append through it into the arena).
+func (b *treeBuilder) installWorkers(ws ...*core.Worker) []*core.Worker {
+	start := len(b.warena)
+	b.warena = append(b.warena, ws...)
+	return b.warena[start:len(b.warena):len(b.warena)]
 }
 
 // residual runs the BFS over comp minus the currently removed vertices and
@@ -448,7 +772,7 @@ func (b *treeBuilder) build(comp []int, workers []*core.Worker) *TreeNode {
 func (b *treeBuilder) residual(comp []int, collect bool) (int, [][]int) {
 	count := 0
 	var comps [][]int
-	var touched []int32
+	touched := b.touched[:0]
 	for _, s := range comp {
 		if b.seen[s] || b.removed[s] {
 			continue
@@ -481,5 +805,6 @@ func (b *treeBuilder) residual(comp []int, collect bool) (int, [][]int) {
 	for _, v := range touched {
 		b.seen[v] = false
 	}
+	b.touched = touched[:0]
 	return count, comps
 }
