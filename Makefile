@@ -1,0 +1,25 @@
+# Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
+
+.PHONY: build test lint vet race bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# The pre-push gate: gofmt, go vet, staticcheck (when cached), datawa-lint.
+# Identical to CI's lint-build job — see docs/LINTING.md.
+lint:
+	./scripts/lint.sh
+
+# Just the repo's own analyzers, for a fast determinism/locking/hot-path check.
+vet:
+	go build -o bin/datawa-lint ./cmd/datawa-lint
+	go vet -vettool=$(CURDIR)/bin/datawa-lint ./...
+
+bench:
+	go test -run=NONE -bench=. -benchtime=1x ./...

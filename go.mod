@@ -1,3 +1,5 @@
 module repro
 
 go 1.24
+
+require honnef.co/go/tools v0.6.1

@@ -1,0 +1,27 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "stream", "freepkg")
+}
+
+func TestCritical(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/assign":   true,
+		"repro/internal/dispatch": true,
+		"wire":                    true,
+		"repro/internal/obs":      false,
+		"repro/cmd/datawa-serve":  false,
+		"repro/internal/analysis": false,
+	} {
+		if got := determinism.Critical(path); got != want {
+			t.Errorf("Critical(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

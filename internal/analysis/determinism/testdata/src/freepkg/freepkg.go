@@ -1,0 +1,14 @@
+// Package freepkg is not on the determinism-critical list: every construct
+// the analyzer bans elsewhere is unremarkable here.
+package freepkg
+
+import "time"
+
+func clockAndGoroutines(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	go func() { _ = time.Now() }()
+	return keys
+}

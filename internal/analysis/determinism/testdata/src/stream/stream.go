@@ -1,0 +1,96 @@
+// Package stream is a determinism fixture: its leaf name is on the
+// critical list, so every rule applies.
+package stream
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Commutative map-range bodies: no findings.
+func commutative(m map[int]float64) int {
+	count := 0
+	sum := 0
+	seen := make(map[int]bool)
+	for k := range m {
+		count++
+		if !seen[k] {
+			seen[k] = true
+			sum += k
+		}
+	}
+	for k := range m {
+		delete(m, k)
+	}
+	return count + sum
+}
+
+// Order-exposed bodies: findings.
+func orderExposed(m map[int]float64) []int {
+	var keys []int
+	for k := range m { // want `map iteration with an order-sensitive body`
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0.0
+	for _, v := range m { // want `map iteration with an order-sensitive body`
+		total += v // float accumulation is order-dependent bitwise
+	}
+	last := 0
+	for k := range m { // want `map iteration with an order-sensitive body`
+		last = k
+	}
+	_ = total
+	_ = last
+	return keys
+}
+
+// The escape hatch silences the finding when justified...
+func escapeHatch(m map[int]float64) []int {
+	var keys []int
+	//datawa:unordered keys are sorted before use below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// ...but a bare escape hatch is itself a finding.
+func bareEscape(m map[int]float64) int {
+	n := 0
+	//datawa:unordered
+	for range m { // want `//datawa:unordered needs a justification`
+		n++
+	}
+	return n
+}
+
+// Ambient reads: findings, unless injected or allowlisted.
+func ambient() float64 {
+	t := time.Now()       // want `time.Now \(wall-clock read\) in determinism-critical package`
+	r := rand.Float64()   // want `math/rand.Float64 \(process-global rand\) in determinism-critical package`
+	_ = os.Getenv("HOME") // want `os.Getenv \(environment read\) in determinism-critical package`
+	return float64(t.Unix()) + r
+}
+
+// Seeded randomness and method calls are the sanctioned pattern.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// The wallclock escape hatch with a justification.
+func pacing() time.Time {
+	//datawa:wallclock load-generator pacing, never feeds the plan
+	return time.Now()
+}
+
+// Bare goroutines: findings, no escape hatch.
+func fanOut(jobs []func()) {
+	for _, j := range jobs {
+		go j() // want `bare go statement in determinism-critical package`
+	}
+}

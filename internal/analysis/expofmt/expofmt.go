@@ -1,0 +1,173 @@
+// Package expofmt is the static twin of the runtime Prometheus exposition
+// lint (TestPrometheusExpositionLint): it checks metric registrations at the
+// source level, so a malformed family name fails the build instead of the
+// first scrape. The repo hand-rolls its exposition (no client library), so a
+// "registration" is either
+//
+//   - a call to a registration helper — a function or closure named counter,
+//     gauge or histogram (or NewCounter/NewGauge/NewHistogram) whose first
+//     argument is the family name as a string literal — or
+//   - a string literal containing a literal `# TYPE <name> <kind>` exposition
+//     line (templated names with % verbs are invisible to the static check;
+//     the runtime lint still covers them).
+//
+// Rules per package: counter family names must end in _total; gauge and
+// histogram names must not; every family name must be a valid lowercase
+// Prometheus name; a name may be registered exactly once; and a literal
+// `# HELP` line must pair with a `# TYPE` line for the same family.
+// A deliberate exception carries //datawa:metric-exempt <why>.
+package expofmt
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the exposition-format checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "expofmt",
+	Doc: "check Prometheus metric registrations: counters end in _total, names are valid, " +
+		"each family registered once, HELP/TYPE literals paired",
+	Run: run,
+}
+
+// helperKinds maps registration-helper names to the metric kind they
+// register.
+var helperKinds = map[string]string{
+	"counter":      "counter",
+	"gauge":        "gauge",
+	"histogram":    "histogram",
+	"NewCounter":   "counter",
+	"NewGauge":     "gauge",
+	"NewHistogram": "histogram",
+}
+
+// typeLine matches a literal exposition TYPE line inside a string constant.
+// Names with % verbs never match (the name charset excludes %), which is
+// what keeps templated registrations out of static scope.
+var typeLine = regexp.MustCompile(`# TYPE ([A-Za-z_:][A-Za-z0-9_:]*) ([a-z]+)`)
+
+// helpLine matches a literal exposition HELP line.
+var helpLine = regexp.MustCompile(`# HELP ([A-Za-z_:][A-Za-z0-9_:]*) `)
+
+// validName is the accepted family-name shape: lowercase snake_case. The
+// exposition grammar also allows uppercase and colons, but this repo's
+// convention is stricter and uniform.
+var validName = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+type registration struct {
+	name string
+	kind string
+	pos  token.Pos
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	var regs []registration
+	helps := make(map[string]token.Pos)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if r, ok := helperCall(pass, n); ok {
+					regs = append(regs, r)
+				}
+			case *ast.BasicLit:
+				if n.Kind != token.STRING {
+					return true
+				}
+				val, err := strconv.Unquote(n.Value)
+				if err != nil {
+					return true
+				}
+				for _, m := range typeLine.FindAllStringSubmatch(val, -1) {
+					regs = append(regs, registration{name: m[1], kind: m[2], pos: n.Pos()})
+				}
+				for _, m := range helpLine.FindAllStringSubmatch(val, -1) {
+					if _, seen := helps[m[1]]; !seen {
+						helps[m[1]] = n.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	seen := make(map[string]token.Pos)
+	typed := make(map[string]bool)
+	for _, r := range regs {
+		typed[r.name] = true
+		if exempt(pass, r.pos) {
+			continue
+		}
+		if !validName.MatchString(r.name) {
+			pass.Reportf(r.pos, "metric family %q is not lowercase snake_case", r.name)
+		}
+		switch {
+		case r.kind == "counter" && !strings.HasSuffix(r.name, "_total"):
+			pass.Reportf(r.pos, "counter family %q must end in _total", r.name)
+		case (r.kind == "gauge" || r.kind == "histogram") && strings.HasSuffix(r.name, "_total"):
+			pass.Reportf(r.pos, "%s family %q must not end in _total (that suffix promises counter semantics)", r.kind, r.name)
+		}
+		if prev, dup := seen[r.name]; dup {
+			pass.Reportf(r.pos, "metric family %q registered more than once in this package (first at %s)",
+				r.name, pass.Fset.Position(prev))
+		} else {
+			seen[r.name] = r.pos
+		}
+	}
+	for name, pos := range helps {
+		if !typed[name] && !exempt(pass, pos) {
+			// The wording dodges a literal "# HELP <name> " substring, which
+			// would make this very format string register as an exposition
+			// line when the analyzer sweeps its own package.
+			pass.Reportf(pos, "HELP exposition line for %q has no matching TYPE line in this package", name)
+		}
+	}
+	return nil, nil
+}
+
+// helperCall recognizes counter("name", …)-style registrations.
+func helperCall(pass *analysis.Pass, call *ast.CallExpr) (registration, bool) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return registration{}, false
+	}
+	kind, ok := helperKinds[name]
+	if !ok || len(call.Args) == 0 {
+		return registration{}, false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return registration{}, false
+	}
+	family, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return registration{}, false
+	}
+	return registration{name: family, kind: kind, pos: call.Pos()}, true
+}
+
+func exempt(pass *analysis.Pass, pos token.Pos) bool {
+	d, ok := pass.DirectiveAt(pos, "metric-exempt")
+	if !ok {
+		return false
+	}
+	if d.Justification == "" {
+		pass.Reportf(pos, "//datawa:metric-exempt needs a justification")
+		return true
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package expofmt_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/expofmt"
+)
+
+func TestExpofmt(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), expofmt.Analyzer, "expofix")
+}

@@ -1,0 +1,46 @@
+// Package expofix is the expofmt-analyzer fixture: the hand-rolled
+// exposition idiom from the real /metrics handler, with each rule broken
+// once and the //datawa:metric-exempt escape exercised.
+package expofix
+
+import (
+	"fmt"
+	"io"
+)
+
+// counter and gauge mirror the real handler's local registration helpers.
+func counter(name string, v uint64) string { return fmt.Sprintf("%s %d\n", name, v) }
+func gauge(name string, v float64) string  { return fmt.Sprintf("%s %g\n", name, v) }
+
+// Clean registrations: counters end in _total, gauges do not.
+func writeClean(w io.Writer) {
+	io.WriteString(w, counter("datawa_epochs_total", 1))
+	io.WriteString(w, gauge("datawa_backlog_depth", 0))
+}
+
+// Each rule broken once.
+func writeBroken(w io.Writer) {
+	io.WriteString(w, counter("datawa_dropped", 2))        // want `counter family "datawa_dropped" must end in _total`
+	io.WriteString(w, gauge("datawa_heap_bytes_total", 3)) // want `gauge family "datawa_heap_bytes_total" must not end in _total`
+	io.WriteString(w, counter("DataWA-Frames_total", 4))   // want `metric family "DataWA-Frames_total" is not lowercase snake_case`
+	io.WriteString(w, counter("datawa_epochs_total", 5))   // want `metric family "datawa_epochs_total" registered more than once`
+}
+
+// Literal exposition blocks are registrations too.
+func writeLiteral(w io.Writer) {
+	io.WriteString(w, "# HELP datawa_shard_shed_total shed decisions\n# TYPE datawa_shard_shed_total counter\n")
+	io.WriteString(w, "# TYPE datawa_retries gauge\n")
+	io.WriteString(w, "# HELP datawa_orphan seconds spent waiting\n") // want `HELP exposition line for "datawa_orphan" has no matching TYPE line`
+}
+
+// The escape hatch admits a justified exception...
+func writeExempt(w io.Writer) {
+	//datawa:metric-exempt legacy dashboard name, frozen until the v2 board migrates
+	io.WriteString(w, counter("datawa_legacy_drops", 6))
+}
+
+// ...but a bare exemption is itself a finding.
+func writeBareExempt(w io.Writer) {
+	//datawa:metric-exempt
+	io.WriteString(w, counter("datawa_mystery", 7)) // want `//datawa:metric-exempt needs a justification`
+}

@@ -1,0 +1,222 @@
+// Package guarded enforces lock discipline on annotated state, checked
+// intra-procedurally. Two annotation forms drive it:
+//
+//   - A struct field whose comment says `guarded by mu` may only be accessed
+//     inside a function that visibly acquires that mutex (a `….mu.Lock()` or
+//     `….mu.RLock()` call anywhere in its body) or that declares the caller
+//     holds it: `//datawa:locked(mu)` in its doc comment (for closures, on
+//     the line above the func literal). Dispatcher's epoch state is the
+//     motivating case: everything behind the epoch lock is annotated, and
+//     every helper that runs under the lock says so.
+//
+//   - A type whose doc carries `//datawa:serialized` is single-owner: its
+//     fields may be touched only by its own methods (or by a function
+//     annotated `//datawa:locked(TypeName)`, e.g. a constructor). This is
+//     stream.Machine's discipline — the machine has no mutex because the
+//     dispatcher's epoch lock (or a single-threaded caller) serializes every
+//     call, so any out-of-method field poke is a discipline violation.
+//
+// The check is name-based and intra-procedural by design: it cannot prove
+// the lock is held at the access point (Lock/Unlock/access ordering) or that
+// the locked instance is the accessed instance. What it does enforce — every
+// function touching guarded state either locks or declares its locking
+// contract — is the documentation invariant that makes the code reviewable,
+// and it catches the real failure mode of a new helper reaching into epoch
+// state with no locking story at all. Test files are exempt.
+package guarded
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lock-discipline checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "guarded",
+	Doc: "check that `guarded by mu` fields are accessed only under a visible Lock " +
+		"or a //datawa:locked contract, and //datawa:serialized types only via their methods",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	guardedFields := make(map[types.Object]string) // field object -> mutex name
+	serialized := make(map[*types.TypeName]bool)   // single-owner types
+	collectAnnotations(pass, guardedFields, serialized)
+	if len(guardedFields) == 0 && len(serialized) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body, lockedSet(pass, fd.Doc, fd.Pos(), fd.Body), receiverType(pass, fd), guardedFields, serialized)
+		}
+	}
+	return nil, nil
+}
+
+// collectAnnotations walks type declarations for `guarded by` field comments
+// and //datawa:serialized type docs.
+func collectAnnotations(pass *analysis.Pass, fields map[types.Object]string, serialized map[*types.TypeName]bool) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+					for _, d := range analysis.DocDirectives(doc) {
+						if d.Name == "serialized" {
+							if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+								serialized[tn] = true
+							}
+						}
+					}
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					mutex, ok := analysis.GuardedBy(field)
+					if !ok {
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := pass.TypesInfo.Defs[name]; obj != nil {
+							fields[obj] = mutex
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// lockedSet computes the mutex names a function visibly holds: every
+// `x.<name>.Lock()` / `.RLock()` receiver name in the body, plus the names
+// declared by //datawa:locked(a, b) on the declaration. Closures do not
+// inherit the enclosing function's set — a closure outlives the statement
+// that created it, so it must carry its own contract.
+func lockedSet(pass *analysis.Pass, doc *ast.CommentGroup, pos token.Pos, body *ast.BlockStmt) map[string]bool {
+	held := make(map[string]bool)
+	if d, ok := pass.FuncDirective(doc, pos, "locked"); ok {
+		for _, name := range strings.Split(d.Args, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				held[name] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure's locks are its own
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		// The mutex is the last name on the receiver path: d.mu.Lock -> mu.
+		switch recv := sel.X.(type) {
+		case *ast.SelectorExpr:
+			held[recv.Sel.Name] = true
+		case *ast.Ident:
+			held[recv.Name] = true
+		}
+		return true
+	})
+	return held
+}
+
+// receiverType resolves a method's receiver to its named type, or nil.
+func receiverType(pass *analysis.Pass, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	return namedTypeName(t)
+}
+
+func namedTypeName(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// checkFunc walks one function body (not descending into closures, which are
+// checked with their own locked set).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, held map[string]bool, recv *types.TypeName, guardedFields map[types.Object]string, serialized map[*types.TypeName]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFunc(pass, n.Body, lockedSet(pass, nil, n.Pos(), n.Body), recvForClosure(pass, n, serialized), guardedFields, serialized)
+			return false
+		case *ast.SelectorExpr:
+			checkAccess(pass, n, held, recv, guardedFields, serialized)
+		}
+		return true
+	})
+}
+
+// recvForClosure lets a closure annotated //datawa:locked(TypeName) count as
+// serialized-type-owned; otherwise closures have no receiver.
+func recvForClosure(pass *analysis.Pass, lit *ast.FuncLit, serialized map[*types.TypeName]bool) *types.TypeName {
+	d, ok := pass.DirectiveAt(lit.Pos(), "locked")
+	if !ok {
+		return nil
+	}
+	for _, name := range strings.Split(d.Args, ",") {
+		name = strings.TrimSpace(name)
+		for tn := range serialized {
+			if tn.Name() == name {
+				return tn
+			}
+		}
+	}
+	return nil
+}
+
+func checkAccess(pass *analysis.Pass, sel *ast.SelectorExpr, held map[string]bool, recv *types.TypeName, guardedFields map[types.Object]string, serialized map[*types.TypeName]bool) {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	obj := selection.Obj()
+
+	if mutex, isGuarded := guardedFields[obj]; isGuarded && !held[mutex] {
+		pass.Reportf(sel.Sel.Pos(), "access to %q (guarded by %s) in a function that neither locks %s "+
+			"nor declares //datawa:locked(%s)", sel.Sel.Name, mutex, mutex, mutex)
+	}
+
+	if owner := namedTypeName(selection.Recv()); owner != nil && serialized[owner] {
+		if recv != owner && !held[owner.Name()] {
+			pass.Reportf(sel.Sel.Pos(), "field %q of single-owner type %s touched outside its methods: "+
+				"go through a method, or annotate the function //datawa:locked(%s) if it provably owns the value",
+				sel.Sel.Name, owner.Name(), owner.Name())
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package guardfix is the guarded-analyzer fixture.
+package guardfix
+
+import "sync"
+
+// Dispatcher mirrors the real epoch-lock shape.
+type Dispatcher struct {
+	mu      sync.Mutex
+	pending []int // guarded by mu
+	epochs  int   // guarded by mu
+	free    int   // unguarded: no annotation, no discipline
+}
+
+// Locks visibly: clean.
+func (d *Dispatcher) Tick() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pending = append(d.pending, 1)
+	d.epochs++
+	d.applyLocked()
+}
+
+// Declares the caller's lock: clean.
+//
+//datawa:locked(mu)
+func (d *Dispatcher) applyLocked() {
+	d.pending = d.pending[:0]
+}
+
+// Neither locks nor declares: findings.
+func (d *Dispatcher) Broken() int {
+	d.epochs++            // want `access to "epochs" \(guarded by mu\) in a function that neither locks mu`
+	return len(d.pending) // want `access to "pending" \(guarded by mu\) in a function that neither locks mu`
+}
+
+// Unannotated fields stay free.
+func (d *Dispatcher) Free() int {
+	return d.free
+}
+
+// A closure does not inherit the enclosing lock: it must declare its own
+// contract.
+func (d *Dispatcher) ForEach(fn func(int)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	inherit := func() int {
+		return d.epochs // want `access to "epochs" \(guarded by mu\)`
+	}
+	//datawa:locked(mu) runs inline under the Lock above
+	declared := func() int {
+		return d.epochs
+	}
+	_ = inherit() + declared()
+}
+
+// Machine is single-owner: the dispatcher's epoch lock serializes every
+// call, so fields may move only through methods.
+//
+//datawa:serialized
+type Machine struct {
+	clock float64
+	tasks map[int]bool
+}
+
+// Methods are the ownership boundary: clean.
+func (m *Machine) Advance(dt float64) {
+	m.clock += dt
+}
+
+// Out-of-method field pokes are findings.
+func Poke(m *Machine) {
+	m.clock = 0 // want `field "clock" of single-owner type Machine touched outside its methods`
+}
+
+// A constructor provably owns the fresh value.
+//
+//datawa:locked(Machine)
+func NewMachine() *Machine {
+	m := &Machine{}
+	m.tasks = make(map[int]bool)
+	return m
+}

@@ -1,0 +1,66 @@
+// Package hotfix is the hotpath-analyzer fixture: every banned construct,
+// the //datawa:alloc escape hatch, and the proof that un-annotated
+// functions are left alone.
+package hotfix
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func sink(v any)     { _ = v }
+func release()       {}
+func fill(dst []int) {}
+
+// Every construct below allocates on the hot path.
+//
+//datawa:hotpath
+func hotViolations(s string, n int) int {
+	buf := make([]byte, n)       // want `make in a hotpath function allocates; preallocate in the owner and reuse`
+	f := func() int { return n } // want `closure in a hotpath function: the func value and its captures allocate`
+	p := &pair{a: n}             // want `&composite literal in a hotpath function escapes to the heap`
+	xs := []int{1, 2, 3}         // want `slice literal in a hotpath function allocates its backing store`
+	bs := []byte(s)              // want `string -> \[\]byte conversion copies in a hotpath function`
+	sink(n)                      // want `passing int to interface parameter boxes it on the heap in a hotpath function`
+	defer release()              // want `defer in a hotpath function: the deferred frame allocates and delays the hot return`
+	if n < 0 {
+		fmt.Println(n) // want `fmt.Println in a hotpath function allocates`
+	}
+	return len(buf) + f() + p.a + xs[0] + len(bs)
+}
+
+// Value literals, pointer boxing, and cold error branches are fine.
+//
+//datawa:hotpath
+func hotClean(buf []byte, n int) (pair, error) {
+	v := pair{a: n, b: n}
+	sink(&v) // boxing a pointer stores the word directly: no allocation
+	if len(buf) < n {
+		return pair{}, fmt.Errorf("short buffer: %d < %d", len(buf), n)
+	}
+	return v, nil
+}
+
+// The escape hatch admits a deliberate allocation with a why...
+//
+//datawa:hotpath
+func hotSlab(n int) []int {
+	//datawa:alloc one amortized slab per batch, reused across the epoch
+	slab := make([]int, 0, n)
+	fill(slab)
+	return slab
+}
+
+// ...but a bare escape hatch is itself a finding.
+//
+//datawa:hotpath
+func hotBareAlloc(n int) []int {
+	//datawa:alloc
+	return make([]int, n) // want `//datawa:alloc needs a justification \(why is this allocation acceptable on the hot path\?\)`
+}
+
+// No annotation, no rules.
+func coldPath(s string, n int) []byte {
+	defer release()
+	out := make([]byte, 0, n)
+	return append(out, s...)
+}

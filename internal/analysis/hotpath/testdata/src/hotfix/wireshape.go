@@ -1,0 +1,111 @@
+// wireshape.go mirrors the real wire frame decoder: fixed-width field
+// loops, uvarint-style shifts, and fmt.Errorf confined to terminal
+// error-return branches. The hotpath analyzer must stay silent on this
+// entire file — it is the shape the cold-branch rule was calibrated on.
+package hotfix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Event is the decoded record.
+type Event struct {
+	Kind byte
+	Seq  uint64
+	X, Y float64
+}
+
+var errShort = errors.New("wireshape: short buffer")
+
+// DecodeFrame parses one frame from buf, returning the event and the
+// number of bytes consumed. All allocations live on reject paths.
+//
+//datawa:hotpath
+func DecodeFrame(buf []byte) (Event, int, error) {
+	var ev Event
+	if len(buf) < 2 {
+		return ev, 0, fmt.Errorf("wireshape: short frame: %d bytes", len(buf))
+	}
+	n := 0
+	ev.Kind = buf[n]
+	n++
+	seq, adv, err := takeUvarint(buf[n:])
+	if err != nil {
+		return ev, 0, fmt.Errorf("wireshape: seq: %w", err)
+	}
+	ev.Seq = seq
+	n += adv
+	switch ev.Kind {
+	case 1, 2:
+		for _, dst := range [...]*float64{&ev.X, &ev.Y} {
+			v, adv, err := takeF64(buf[n:])
+			if err != nil {
+				return ev, 0, fmt.Errorf("wireshape: field: %w", err)
+			}
+			*dst = v
+			n += adv
+		}
+	default:
+		return ev, 0, fmt.Errorf("wireshape: unknown kind 0x%02x", ev.Kind)
+	}
+	return ev, n, nil
+}
+
+// takeF64 reads a little-endian float64.
+//
+//datawa:hotpath
+func takeF64(buf []byte) (float64, int, error) {
+	if len(buf) < 8 {
+		return 0, 0, errShort
+	}
+	bits := uint64(0)
+	for i := 0; i < 8; i++ {
+		bits |= uint64(buf[i]) << (8 * uint(i))
+	}
+	return math.Float64frombits(bits), 8, nil
+}
+
+// takeUvarint reads an unsigned varint.
+//
+//datawa:hotpath
+func takeUvarint(buf []byte) (uint64, int, error) {
+	var x uint64
+	var shift uint
+	for i, b := range buf {
+		if b < 0x80 {
+			return x | uint64(b)<<shift, i + 1, nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+		if shift > 63 {
+			return 0, 0, errShort
+		}
+	}
+	return 0, 0, errShort
+}
+
+// AppendFrame is the encode twin: append into a caller-owned buffer.
+//
+//datawa:hotpath
+func AppendFrame(dst []byte, ev Event) []byte {
+	dst = append(dst, ev.Kind)
+	dst = appendUvarint(dst, ev.Seq)
+	for _, v := range [...]float64{ev.X, ev.Y} {
+		bits := math.Float64bits(v)
+		for s := uint(0); s < 64; s += 8 {
+			dst = append(dst, byte(bits>>s))
+		}
+	}
+	return dst
+}
+
+//datawa:hotpath
+func appendUvarint(dst []byte, x uint64) []byte {
+	for x >= 0x80 {
+		dst = append(dst, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(dst, byte(x))
+}

@@ -1,0 +1,309 @@
+// Package unit implements the `go vet -vettool=` driver protocol for the
+// datawa-lint analyzer suite, compatible with the contract cmd/go expects
+// from a vet tool (the same one x/tools' unitchecker implements):
+//
+//	datawa-lint -V=full     print a version fingerprint (build caching)
+//	datawa-lint -flags      print supported flags as JSON
+//	datawa-lint foo.cfg     analyze the compilation unit described by foo.cfg
+//
+// The .cfg file is JSON written by cmd/go describing one package: its source
+// files, the resolved import map, and the export-data files of every
+// dependency. The driver parses and type-checks the unit with the standard
+// library alone — go/parser, go/types, and go/importer reading the compiler's
+// export data — then runs the analyzers and prints findings to stderr in the
+// usual file:line:col form. Exit status 1 means findings, 0 clean.
+//
+// The suite is package-local (no analyzer exports cross-package facts), so
+// dependency units (VetxOnly) are a no-op beyond writing the empty facts
+// file cmd/go uses as a cache key.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// config mirrors the JSON compilation-unit description cmd/go writes for a
+// vet tool. Field names are the wire contract; unused fields are omitted.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetxPayload is what we write as a "facts" file: the suite has no
+// cross-package facts, but cmd/go caches and feeds this file back, so it
+// must exist and be stable.
+var vetxPayload = []byte("datawa-lint: no facts\n")
+
+// Main is the entry point for cmd/datawa-lint.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	args, enabled := parseArgs(progname, analyzers, os.Args[1:])
+
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, `%[1]s: static analysis suite for the datawa tree (see docs/LINTING.md).
+
+Usage: go vet -vettool=$(command -v %[1]s) [-<analyzer>] ./...
+
+Direct invocation with a unit.cfg is the build-tool protocol, not for
+interactive use.
+`, progname)
+		os.Exit(64)
+	}
+	run(args[0], enabled)
+}
+
+// parseArgs handles the protocol flags by hand (the stdlib flag package is
+// avoided so unknown future flags from cmd/go degrade to a clear error, not
+// a usage panic). It returns positional args and the enabled analyzer set.
+func parseArgs(progname string, analyzers []*analysis.Analyzer, argv []string) ([]string, []*analysis.Analyzer) {
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	setTrue := make(map[string]bool)
+	setFalse := make(map[string]bool)
+	var positional []string
+
+	for _, arg := range argv {
+		if !strings.HasPrefix(arg, "-") {
+			positional = append(positional, arg)
+			continue
+		}
+		name, value := strings.TrimLeft(arg, "-"), ""
+		if eq := strings.Index(name, "="); eq >= 0 {
+			name, value = name[:eq], name[eq+1:]
+		}
+		switch {
+		case name == "V":
+			printVersion(value)
+			os.Exit(0)
+		case name == "flags":
+			printFlags(analyzers)
+			os.Exit(0)
+		case byName[name] != nil:
+			if value == "false" {
+				setFalse[name] = true
+			} else {
+				setTrue[name] = true
+			}
+		case name == "json" || name == "c" || name == "source" || name == "v" ||
+			name == "all" || name == "tags" || name == "fix":
+			// Accepted for vet-driver compatibility; no effect.
+		default:
+			log.Fatalf("unknown flag -%s", name)
+		}
+	}
+
+	// Vet flag semantics: any -NAME selects only those analyzers; otherwise
+	// any -NAME=false deselects from the full set.
+	selected := analyzers
+	if len(setTrue) > 0 {
+		selected = nil
+		for _, a := range analyzers {
+			if setTrue[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	} else if len(setFalse) > 0 {
+		selected = nil
+		for _, a := range analyzers {
+			if !setFalse[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+	return positional, selected
+}
+
+// printVersion implements -V=full: a content fingerprint of the executable,
+// which cmd/go folds into its action cache key so a rebuilt tool invalidates
+// cached vet results.
+func printVersion(value string) {
+	if value != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", value)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel datawa-lint buildID=%02x\n", exe, h.Sum(nil))
+}
+
+// printFlags implements -flags: the JSON flag inventory cmd/go queries to
+// validate user-supplied vet flags.
+func printFlags(analyzers []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{
+		{"V", true, "print version and exit"},
+		{"json", true, "accepted for compatibility; no effect"},
+		{"c", false, "accepted for compatibility; no effect"},
+	}
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		flags = append(flags, jsonFlag{a.Name, true, "enable " + a.Name + " analysis: " + doc})
+	}
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+func run(configFile string, analyzers []*analysis.Analyzer) {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode JSON config file %s: %v", configFile, err)
+	}
+
+	// Dependency units exist only to produce facts; this suite has none.
+	if cfg.VetxOnly {
+		writeVetx(cfg)
+		os.Exit(0)
+	}
+	if len(cfg.GoFiles) == 0 {
+		log.Fatalf("package has no files: %s", cfg.ImportPath)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				// The compiler will report the parse error; stay quiet.
+				writeVetx(cfg)
+				os.Exit(0)
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	tc := &types.Config{
+		Importer:  makeImporter(cfg, fset),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg)
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+
+	results, err := analysis.RunAnalyzers(fset, files, pkg, info, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeVetx(cfg)
+
+	exit := 0
+	for _, res := range results {
+		for _, d := range res.Diagnostics {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// makeImporter resolves imports through the unit's ImportMap to the
+// compiler-written export data files in PackageFile — the same pipeline the
+// compiler itself uses, so the analyzers see exactly the built types.
+func makeImporter(cfg *config, fset *token.FileSet) types.Importer {
+	compiled := importer.ForCompiler(fset, compilerOrDefault(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data file for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("cannot resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compiled.Import(path)
+	})
+}
+
+func compilerOrDefault(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
+
+func writeVetx(cfg *config) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, vetxPayload, 0o666); err != nil {
+		log.Fatalf("failed to write facts file: %v", err)
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -346,12 +346,16 @@ type searchRun struct {
 // building and caching them on first use. A nil entry marks a sequence
 // containing a task outside the tree's universe (impossible by construction,
 // but kept unusable rather than misindexed).
+//
+//datawa:hotpath
 func (r *searchRun) seqIndices(w *core.Worker) [][]int32 {
 	idxs, ok := r.seqIdx[w.ID]
 	if !ok {
 		seqs := r.sep.Sequences[w.ID]
+		//datawa:alloc cache build, once per worker per tree; every later node reuses it
 		idxs = make([][]int32, len(seqs))
 		for k, q := range seqs {
+			//datawa:alloc cache build, once per sequence per tree
 			l := make([]int32, len(q))
 			for j, s := range q {
 				i, in := r.ts.byID[s.ID]
@@ -371,6 +375,8 @@ func (r *searchRun) seqIndices(w *core.Worker) [][]int32 {
 // candidates returns the usable subset of Q_w — the positions (into
 // r.sep.Sequences[w.ID]) of the precomputed sequences whose tasks are all
 // still available.
+//
+//datawa:hotpath
 func (r *searchRun) candidates(w *core.Worker) []int32 {
 	idxs := r.seqIndices(w)
 	var out []int32
@@ -597,11 +603,13 @@ func (ts *taskSet) reset(tasks []*core.Task) {
 	ts.cache = ts.cache[:0]
 }
 
+//datawa:hotpath
 func (ts *taskSet) has(id int) bool {
 	i, ok := ts.byID[id]
 	return ok && ts.avail[i]
 }
 
+//datawa:hotpath
 func (ts *taskSet) removeSeq(q core.Sequence) {
 	for _, s := range q {
 		if i, ok := ts.byID[s.ID]; ok {
@@ -611,6 +619,7 @@ func (ts *taskSet) removeSeq(q core.Sequence) {
 	ts.dirty = true
 }
 
+//datawa:hotpath
 func (ts *taskSet) restoreSeq(q core.Sequence) {
 	for _, s := range q {
 		if i, ok := ts.byID[s.ID]; ok {
@@ -622,6 +631,8 @@ func (ts *taskSet) restoreSeq(q core.Sequence) {
 
 // removeIdx and restoreIdx are the pre-translated (index list) forms of
 // removeSeq/restoreSeq used by the search's candidate loop.
+//
+//datawa:hotpath
 func (ts *taskSet) removeIdx(idxs []int32) {
 	for _, i := range idxs {
 		ts.avail[i] = false
@@ -629,6 +640,7 @@ func (ts *taskSet) removeIdx(idxs []int32) {
 	ts.dirty = true
 }
 
+//datawa:hotpath
 func (ts *taskSet) restoreIdx(idxs []int32) {
 	for _, i := range idxs {
 		ts.avail[i] = true
@@ -637,6 +649,8 @@ func (ts *taskSet) restoreIdx(idxs []int32) {
 }
 
 // slice returns the available tasks in insertion order.
+//
+//datawa:hotpath
 func (ts *taskSet) slice() []*core.Task {
 	if !ts.dirty {
 		return ts.cache

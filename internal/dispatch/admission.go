@@ -56,6 +56,8 @@ func (d *Dispatcher) deferSlackLocked() float64 {
 // requeue it one epoch ahead when it still has DeferSlack of validity, shed
 // it otherwise. The task is not in any shard; the caller already removed it
 // or never admitted it. cause names the admission pressure for the ledger.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) deferOrShedLocked(s *core.Task, t float64, cause string) {
 	if s.Exp-t >= d.deferSlackLocked() {
 		d.pending.push(pendingEvent{
@@ -88,6 +90,8 @@ func (d *Dispatcher) admitOverCapLocked(s *core.Task, t float64) bool {
 // replica, and any FTA reservation — ShedTask/DropTask release the pin) and
 // either requeues it one epoch ahead or sheds it, by the DeferSlack rule.
 // cause names the newcomer that pushed the victim out, for the ledger.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) displaceLocked(v victim, t float64, cause string) {
 	d.recordTask(v.id, obs.Displaced, v.shard, 0, cause)
 	if v.task.Exp-t >= d.deferSlackLocked() {
@@ -112,6 +116,8 @@ func (d *Dispatcher) displaceLocked(v victim, t float64, cause string) {
 // dropGhostsLocked removes every ghost replica of a task — replicas must
 // leave the planning pools with their owner, or a ghost shard could assign a
 // task the admission path already dropped.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) dropGhostsLocked(id int) {
 	for _, g := range d.ghosts[id] {
 		d.shards[g].DropTask(id)
@@ -132,6 +138,8 @@ type victim struct {
 // peekVictimLocked returns the latest-deadline live open task, discarding
 // stale heap entries. Validation is by pointer identity against the owning
 // shard's open pool, so a closed-and-resubmitted id cannot alias.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) peekVictimLocked() (victim, bool) {
 	for len(d.victims) > 0 {
 		v := d.victims[0]

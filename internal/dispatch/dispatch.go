@@ -311,59 +311,61 @@ type Dispatcher struct {
 	synthID atomic.Int64
 
 	mu      sync.Mutex
-	pending eventHeap // drained from the queue, not yet due
-	shards  []*stream.Machine
+	pending eventHeap         // drained from the queue, not yet due; guarded by mu
+	shards  []*stream.Machine // slice and elements set in New, immutable after
 	// inc holds each shard's incremental-planner wrapper for reuse metrics;
 	// nil when incremental replanning is off.
-	inc    []*assign.Incremental
-	smap   *shardMap     // cell ownership; nil with one shard
-	owner  map[int]int   // worker id → shard
-	taskOf map[int]int   // task id → owning shard
-	ghosts map[int][]int // task id → shards holding a live replica
+	inc    []*assign.Incremental // guarded by mu
+	smap   *shardMap             // cell ownership; nil with one shard; immutable after New
+	owner  map[int]int           // worker id → shard; guarded by mu
+	taskOf map[int]int           // task id → owning shard; guarded by mu
+	ghosts map[int][]int         // task id → shards holding a live replica; guarded by mu
 	// maxReach is the largest Reach among admitted workers — the automatic
 	// halo radius when Config.HaloRadius is 0. reGhost marks a pending
 	// re-replication pass after maxReach grew; it runs once per tick, since
 	// visibility only matters at planning instants and a burst of admissions
 	// would otherwise rescan the open pool once per worker.
-	maxReach float64
-	reGhost  bool
+	maxReach float64 // guarded by mu
+	reGhost  bool    // guarded by mu
 	// Halo/arbitration counters (see Metrics).
-	ghostCopies int64
-	ghostHits   int64
-	conflicts   int64
-	retractions int64
-	clock       float64 // next epoch instant
-	epochs      int
-	lat         *latencyRing
+	ghostCopies int64        // guarded by mu
+	ghostHits   int64        // guarded by mu
+	conflicts   int64        // guarded by mu
+	retractions int64        // guarded by mu
+	clock       float64      // next epoch instant; guarded by mu
+	epochs      int          // guarded by mu
+	lat         *latencyRing // guarded by mu
 	// Admission state: shedIngest counts tasks terminally dropped on the
 	// ingest path (never admitted to a shard); deferred counts deferral
 	// events (non-terminal requeues); victims orders the open pool by
 	// deadline for displacement.
-	shedIngest int64
-	deferred   int64
-	victims    victimHeap
+	shedIngest int64      // guarded by mu
+	deferred   int64      // guarded by mu
+	victims    victimHeap // guarded by mu
 	// Governor state: gov is nil when disabled; tiered holds each shard's
 	// ladder dispatcher; costs/preWorkers/preOpen/shardWall are per-tick
 	// scratch, allocated once.
-	gov        *Governor
-	tiered     []*tieredPlanner
-	costFn     CostFunc
-	costs      []float64
-	preWorkers []int
-	preOpen    []int
-	shardWall  []time.Duration
-	trace      *traceRing
+	gov        *Governor        // guarded by mu
+	tiered     []*tieredPlanner // guarded by mu
+	costFn     CostFunc         // guarded by mu
+	costs      []float64        // guarded by mu
+	preWorkers []int            // guarded by mu
+	preOpen    []int            // guarded by mu
+	shardWall  []time.Duration  // guarded by mu
+	trace      *traceRing       // guarded by mu
 	// ob is the observability core: always non-nil — histograms are always
 	// on; spans/ledger/flight inside it are gated by Config.Obs.
-	ob *obsState
+	ob *obsState // guarded by mu
 	// Global forecast state (Config.Forecast only).
-	published    []*core.Task
-	lastForecast float64
+	published    []*core.Task // guarded by mu
+	lastForecast float64      // guarded by mu
 }
 
 // New builds a dispatcher. It panics on an unusable configuration (missing
 // planner factory, or multiple shards without a grid) — both are programming
 // errors, not runtime conditions.
+//
+//datawa:locked(mu) the constructor owns the fresh value; no other goroutine can hold a reference yet
 func New(cfg Config) *Dispatcher {
 	cfg = cfg.withDefaults()
 	govOn := cfg.Governor.Budget > 0
@@ -559,6 +561,8 @@ func (d *Dispatcher) haloEnabled() bool {
 
 // haloRadiusLocked resolves the current halo radius: the configured fixed
 // radius, or — in auto mode — the largest admitted worker reach so far.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) haloRadiusLocked() float64 {
 	if d.cfg.HaloRadius > 0 {
 		return d.cfg.HaloRadius
@@ -575,6 +579,8 @@ func (d *Dispatcher) haloRadiusLocked() float64 {
 // GPS fixes to boundary cells), so the halo query must reason from the same
 // snapped geometry — an exact off-region disk could overlap no cell at all
 // and leave a boundary worker blind to a reachable off-map task.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) replicateLocked(s *core.Task, owner int, t float64) {
 	r := d.haloRadiusLocked()
 	if r <= 0 {
@@ -597,8 +603,11 @@ func (d *Dispatcher) replicateLocked(s *core.Task, owner int, t float64) {
 // worker. Task ids are walked in sorted order: replication appends to each
 // shard's planning pool, so the order must be a pure function of the event
 // stream.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) reGhostLocked(t float64) {
 	ids := make([]int, 0, len(d.taskOf))
+	//datawa:unordered ids are sorted before any shard is touched
 	for id := range d.taskOf {
 		ids = append(ids, id)
 	}
@@ -659,6 +668,8 @@ func (d *Dispatcher) Serve(ctx context.Context, timeScale float64) error {
 // timed into the observability core's histograms; with span recording on
 // (ObsConfig.Spans) each stage also leaves a span — track 0 for the
 // dispatcher's sequential work, one track per shard for the parallel Steps.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) tickLocked() {
 	t := d.clock
 	o := d.ob
@@ -667,17 +678,17 @@ func (d *Dispatcher) tickLocked() {
 	if o.arbitrated != nil {
 		clear(o.arbitrated)
 	}
-	tick0 := time.Now()
+	tick0 := time.Now() //datawa:wallclock epoch histogram timing, observability only
 
-	t0 := time.Now()
+	t0 := time.Now() //datawa:wallclock stage-span timing, observability only
 	drained := d.drainLocked()
 	o.observe(stageDrain, t0, drained, "", true)
 
-	t0 = time.Now()
+	t0 = time.Now() //datawa:wallclock stage-span timing, observability only
 	applied := d.applyDueLocked(t)
 	o.observe(stageAdmission, t0, applied, "", true)
 
-	t0 = time.Now()
+	t0 = time.Now() //datawa:wallclock stage-span timing, observability only
 	ranReGhost := false
 	if d.reGhost {
 		d.reGhost = false
@@ -686,7 +697,7 @@ func (d *Dispatcher) tickLocked() {
 	}
 	o.observe(stageReGhost, t0, 0, "", ranReGhost)
 
-	t0 = time.Now()
+	t0 = time.Now() //datawa:wallclock stage-span timing, observability only
 	ranForecast, virtuals := d.forecastLocked(t)
 	o.observe(stageForecast, t0, virtuals, "", ranForecast)
 
@@ -700,12 +711,13 @@ func (d *Dispatcher) tickLocked() {
 			d.preOpen[i] = m.OpenTasks()
 		}
 	}
-	start := time.Now()
+	start := time.Now() //datawa:wallclock stage-span timing, observability only
+	//datawa:locked(mu) the epoch lock is held across the whole parallel region; each worker touches only its own shard slot
 	par.Do(len(d.shards), d.cfg.Parallelism, func(i int) {
 		if instrument {
-			s0 := time.Now()
+			s0 := time.Now() //datawa:wallclock per-shard span timing, observability only
 			d.shards[i].Step(t)
-			d.shardWall[i] = time.Since(s0)
+			d.shardWall[i] = time.Since(s0) //datawa:wallclock per-shard wall stats, observability only
 			if o.shardSpan != nil {
 				o.shardSpan[i] = obs.Span{
 					Name: "step", Track: 1 + i,
@@ -734,7 +746,7 @@ func (d *Dispatcher) tickLocked() {
 		}
 	}
 
-	t0 = time.Now()
+	t0 = time.Now() //datawa:wallclock stage-span timing, observability only
 	rounds := d.arbitrateLocked(t)
 	o.observe(stageArbitration, t0, rounds, "", true)
 	d.drainDisposalsLocked()
@@ -742,9 +754,9 @@ func (d *Dispatcher) tickLocked() {
 	// The latency ring keeps its historical meaning — Step + arbitration
 	// wall, the quantity the BENCH trajectory gates — while the epoch
 	// histogram covers the whole tick including ingest and forecast.
-	wall := time.Since(start)
+	wall := time.Since(start) //datawa:wallclock latency ring sample, observability only
 	d.lat.add(wall)
-	o.epochHist.Observe(time.Since(tick0).Seconds())
+	o.epochHist.Observe(time.Since(tick0).Seconds()) //datawa:wallclock epoch histogram sample, observability only
 
 	// Retire routing entries for departed workers and closed tasks so the
 	// maps track the live population, not the service's lifetime history.
@@ -816,6 +828,8 @@ func (d *Dispatcher) tickLocked() {
 // loop terminates.
 // It returns the number of arbitration rounds that resolved at least one
 // task.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) arbitrateLocked(t float64) int {
 	if !d.haloEnabled() {
 		return 0
@@ -826,7 +840,7 @@ func (d *Dispatcher) arbitrateLocked(t float64) int {
 	}
 	rounds := 0
 	for {
-		round0 := time.Now()
+		round0 := time.Now() //datawa:wallclock arbitration-round span timing, observability only
 		byTask := make(map[int][]commit)
 		for i, m := range d.shards {
 			for _, c := range m.TakeCommits() {
@@ -842,6 +856,7 @@ func (d *Dispatcher) arbitrateLocked(t float64) int {
 		}
 		rounds++
 		ids := make([]int, 0, len(byTask))
+		//datawa:unordered ids are sorted before arbitration begins
 		for id := range byTask {
 			ids = append(ids, id)
 		}
@@ -922,7 +937,7 @@ func (d *Dispatcher) arbitrateLocked(t float64) int {
 		// Phase 2: retract the losers. Resumed workers can only commit tasks
 		// not arbitrated yet — fresh replicated commits land in the machines'
 		// logs and the next round collects them.
-		retract0 := time.Now()
+		retract0 := time.Now() //datawa:wallclock retraction span timing, observability only
 		for _, cm := range losers {
 			if d.shards[cm.shard].RetractCommit(cm.c.Worker, cm.c.Task, t) {
 				d.retractions++
@@ -942,6 +957,8 @@ func (d *Dispatcher) arbitrateLocked(t float64) int {
 // forecast step — so sharding does not dilute the demand counts the model
 // was trained on. It reports whether a refresh ran and how many virtual
 // tasks it materialized.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) forecastLocked(t float64) (bool, int) {
 	if d.cfg.Forecast == nil {
 		return false, 0
@@ -970,6 +987,8 @@ func (d *Dispatcher) forecastLocked(t float64) (bool, int) {
 // sequence numbers; the legacy channel stamps at drain. Either way the heap
 // orders events by (time, sequence), so queue shape never changes what an
 // epoch sees.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) drainLocked() int {
 	n := 0
 	if d.rings != nil {
@@ -1003,6 +1022,8 @@ func (d *Dispatcher) drainLocked() int {
 // a trace replay matches the engine's workers-then-tasks batching); what
 // matters is that events about the *same* entity — an offline followed by a
 // re-online, a submit followed by a cancel — apply in the order produced.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) applyDueLocked(t float64) int {
 	submits, due := 0, 0
 	for len(d.pending) > 0 && d.pending[0].ev.Time <= t {
@@ -1032,6 +1053,8 @@ func (d *Dispatcher) applyDueLocked(t float64) int {
 // noteSubmitLocked runs a task submit's first-application side effects: the
 // global forecast feed and the ledger's chain-opening Submitted record. A
 // requeued (deferred/displaced) submit already ran them on first application.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) noteSubmitLocked(s *core.Task, requeued bool) {
 	if s == nil || requeued {
 		return
@@ -1042,6 +1065,7 @@ func (d *Dispatcher) noteSubmitLocked(s *core.Task, requeued bool) {
 	d.recordTask(s.ID, obs.Submitted, -1, 0, "")
 }
 
+//datawa:locked(mu)
 func (d *Dispatcher) applyLocked(ev Event, t float64, requeued bool) {
 	ok := false
 	switch ev.Kind {

@@ -61,7 +61,7 @@ func (g LoadGen) Run(d *Dispatcher) LoadResult {
 	if g.Stream {
 		return g.runStream(d)
 	}
-	start := time.Now()
+	start := time.Now() //datawa:wallclock replay pacing and wall-time report, sanctioned LoadGen use
 	var interval time.Duration
 	if g.Rate > 0 {
 		interval = time.Duration(float64(time.Second) / g.Rate)
@@ -81,7 +81,7 @@ func (g LoadGen) Run(d *Dispatcher) LoadResult {
 		}
 		if interval > 0 {
 			next = next.Add(interval)
-			if wait := time.Until(next); wait > 0 {
+			if wait := time.Until(next); wait > 0 { //datawa:wallclock replay pacing, sanctioned LoadGen use
 				time.Sleep(wait)
 			}
 		}
@@ -91,7 +91,7 @@ func (g LoadGen) Run(d *Dispatcher) LoadResult {
 	// events the dispatcher shed under admission control end the replay as
 	// counters, not as a hang.
 	d.Advance(g.T1)
-	wall := time.Since(start)
+	wall := time.Since(start) //datawa:wallclock achieved-rate report, sanctioned LoadGen use
 	m := d.Snapshot()
 	res := LoadResult{
 		Events:   len(g.Events),
@@ -126,7 +126,7 @@ func (g LoadGen) runStream(d *Dispatcher) LoadResult {
 		decoded = make([]wire.Event, 0, batchCap)
 		frame   []byte
 	)
-	start := time.Now()
+	start := time.Now() //datawa:wallclock replay pacing and wall-time report, sanctioned LoadGen use
 	next := start
 	for i := 0; i < len(g.Events); {
 		for d.Now() < g.Events[i].Time {
@@ -150,13 +150,13 @@ func (g LoadGen) runStream(d *Dispatcher) LoadResult {
 		}
 		if interval > 0 {
 			next = next.Add(time.Duration(len(batch)) * interval)
-			if wait := time.Until(next); wait > 0 {
+			if wait := time.Until(next); wait > 0 { //datawa:wallclock replay pacing, sanctioned LoadGen use
 				time.Sleep(wait)
 			}
 		}
 	}
 	d.Advance(g.T1)
-	wall := time.Since(start)
+	wall := time.Since(start) //datawa:wallclock achieved-rate report, sanctioned LoadGen use
 	m := d.Snapshot()
 	res := LoadResult{
 		Events: len(g.Events), Wall: wall,

@@ -101,7 +101,7 @@ type obsState struct {
 }
 
 func newObsState(cfg ObsConfig, shards int) *obsState {
-	o := &obsState{cfg: cfg.withDefaults(), base: time.Now()}
+	o := &obsState{cfg: cfg.withDefaults(), base: time.Now()} //datawa:wallclock span timebase, observability only
 	o.epochHist = obs.NewLatencyHistogram()
 	for i := range o.stageHist {
 		o.stageHist[i] = obs.NewLatencyHistogram()
@@ -123,7 +123,7 @@ func newObsState(cfg ObsConfig, shards int) *obsState {
 // observe records one stage's wall time and, when asked, its span. Called
 // once per stage per tick so stage _count stays locked to the epoch count.
 func (o *obsState) observe(stage int, start time.Time, n int, detail string, span bool) {
-	dur := time.Since(start)
+	dur := time.Since(start) //datawa:wallclock stage histogram sample, observability only
 	o.stageHist[stage].Observe(dur.Seconds())
 	if span && o.spans != nil {
 		o.cur = append(o.cur, obs.Span{
@@ -140,12 +140,14 @@ func (o *obsState) span(name string, track int, start time.Time, n int, detail s
 	}
 	o.cur = append(o.cur, obs.Span{
 		Name: name, Track: track, N: n, Detail: detail,
-		StartNS: start.Sub(o.base).Nanoseconds(), DurNS: time.Since(start).Nanoseconds(),
+		StartNS: start.Sub(o.base).Nanoseconds(), DurNS: time.Since(start).Nanoseconds(), //datawa:wallclock span duration, observability only
 	})
 }
 
 // recordTask ledgers one lifecycle transition at the current tick's logical
 // position. shard −1 marks dispatcher-level decisions outside any shard.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) recordTask(id int, st obs.State, shard, worker int, cause string) {
 	o := d.ob
 	if o.ledger == nil {
@@ -161,6 +163,8 @@ func (d *Dispatcher) recordTask(id int, st obs.State, shard, worker int, cause s
 // this tick's arbitration are skipped: arbitration already ledgered the
 // winner and the retracted losers, and a loser's machine still carries the
 // stale pre-retraction disposal entry.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) drainDisposalsLocked() {
 	o := d.ob
 	if o.ledger == nil {
@@ -184,6 +188,8 @@ func (d *Dispatcher) drainDisposalsLocked() {
 // a dump at most once per FlightDepth epochs — a trigger condition that
 // persists (sustained shedding, a demotion storm) yields one dump per
 // window, not one per epoch.
+//
+//datawa:locked(mu)
 func (d *Dispatcher) maybeFlightLocked(t float64) {
 	o := d.ob
 	if o.flight == nil {

@@ -52,6 +52,8 @@ func newIngestLane(capacity int) *ingestLane {
 // Wait-free for the winning producer; a loser retries the CAS. Never blocks:
 // the caller handles a full ring by spilling to the pending heap under the
 // epoch lock.
+//
+//datawa:hotpath
 func (l *ingestLane) tryPush(se stampedEvent) bool {
 	pos := l.tail.Load()
 	for {
@@ -77,6 +79,8 @@ func (l *ingestLane) tryPush(se stampedEvent) bool {
 
 // pop takes the oldest published event, or reports an empty (or mid-publish)
 // ring. Must be called under the epoch lock.
+//
+//datawa:hotpath
 func (l *ingestLane) pop() (stampedEvent, bool) {
 	s := &l.slots[l.head&l.mask]
 	if int64(s.seq.Load())-int64(l.head+1) != 0 {
@@ -92,6 +96,8 @@ func (l *ingestLane) pop() (stampedEvent, bool) {
 // depth is the published-but-unconsumed count. Exact under the epoch lock
 // (no concurrent consumer); a racing producer can make it stale by one, which
 // is no worse than len(chan) was.
+//
+//datawa:hotpath
 func (l *ingestLane) depth() int {
 	d := int64(l.tail.Load()) - int64(l.head)
 	if d < 0 {
@@ -126,6 +132,8 @@ func newShardedQueue(lanes, capacity int) *shardedQueue {
 // laneOf routes an event to a lane: located events go to the shard owning
 // their cell (the same routing applyLocked will use), id-only events spread
 // by id. A pure function of the event, so routing never needs the lock.
+//
+//datawa:hotpath
 func (d *Dispatcher) laneOf(ev Event) *ingestLane {
 	q := d.rings
 	n := len(q.lanes)
@@ -151,6 +159,7 @@ func (d *Dispatcher) laneOf(ev Event) *ingestLane {
 	return q.lanes[id%n]
 }
 
+//datawa:hotpath
 func (q *shardedQueue) depth() int {
 	n := 0
 	for _, l := range q.lanes {

@@ -35,6 +35,8 @@ type StreamSummary struct {
 // window. An event with time 0 is stamped with the next epoch instant, so
 // clients that only relay "now" events never have to track the logical
 // clock. Rejected events are counted, never partially applied.
+//
+//datawa:hotpath
 func (d *Dispatcher) IngestBatch(events []wire.Event) (accepted, rejected int) {
 	var nw, nt int
 	for i := range events {
@@ -48,9 +50,11 @@ func (d *Dispatcher) IngestBatch(events []wire.Event) (accepted, rejected int) {
 	var workers []core.Worker
 	var tasks []core.Task
 	if nw > 0 {
+		//datawa:alloc one amortized slab per batch; sized exactly, handed to the shards wholesale
 		workers = make([]core.Worker, 0, nw)
 	}
 	if nt > 0 {
+		//datawa:alloc one amortized slab per batch; sized exactly, handed to the shards wholesale
 		tasks = make([]core.Task, 0, nt)
 	}
 	now := d.Now()

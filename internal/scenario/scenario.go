@@ -181,6 +181,7 @@ func Get(name string) (Archetype, bool) {
 // Names returns every registered archetype name, sorted.
 func Names() []string {
 	out := make([]string, 0, len(registry))
+	//datawa:unordered names are sorted before return
 	for name := range registry {
 		out = append(out, name)
 	}

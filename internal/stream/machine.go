@@ -129,7 +129,10 @@ func (ws *workerState) pos(t float64) geo.Point {
 // UpdateWorkerPos) and advance it with Step, which runs one planning instant.
 //
 // A Machine is single-goroutine, like the Engine built on it; concurrent
-// drivers must serialize access themselves.
+// drivers must serialize access themselves. The datawa-lint guarded analyzer
+// enforces the consequence: fields move only through methods.
+//
+//datawa:serialized
 type Machine struct {
 	cfg MachineConfig
 
@@ -200,6 +203,8 @@ func (m *Machine) TakeDisposals() []Disposal {
 }
 
 // NewMachine returns an empty machine.
+//
+//datawa:locked(Machine) the constructor owns the fresh value
 func NewMachine(cfg MachineConfig) *Machine {
 	m := &Machine{
 		cfg:          cfg.withDefaults(),
@@ -754,7 +759,7 @@ func (m *Machine) plan(t float64) {
 	pool = append(pool, m.virtuals...)
 	m.poolScratch = pool
 
-	start := time.Now()
+	start := time.Now() //datawa:wallclock planner wall-time stats, observability only
 	var plan core.Plan
 	if m.dp != nil {
 		plan = m.dp.PlanDirty(workers, pool, t, m.dirty)
@@ -762,7 +767,7 @@ func (m *Machine) plan(t float64) {
 	} else {
 		plan = m.cfg.Planner.Plan(workers, pool, t)
 	}
-	m.stats.PlanTime += time.Since(start)
+	m.stats.PlanTime += time.Since(start) //datawa:wallclock planner wall-time stats, observability only
 	m.stats.PlanCalls++
 
 	if dup, ok := plan.Consistent(); !ok {

@@ -346,6 +346,7 @@ func maximalValidSequencesByKey(w *core.Worker, rs []*core.Task, now float64, o 
 
 	out := make([]core.Sequence, 0, len(bests))
 	completions := make(map[string]float64, len(bests))
+	//datawa:unordered out is totally ordered by the sort.Slice below (length, completion, then lessIDs)
 	for key, b := range bests {
 		out = append(out, b.seq)
 		completions[key] = b.completion

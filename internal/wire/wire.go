@@ -136,6 +136,8 @@ var (
 // needed, and returns the extended slice. It rejects batches the decoder
 // would reject — too many events, unknown kinds, non-finite floats — so an
 // encoded frame always round-trips.
+//
+//datawa:hotpath
 func AppendFrame(dst []byte, events []Event) ([]byte, error) {
 	if len(events) > MaxBatchEvents {
 		return dst, fmt.Errorf("%w: %d events > %d", ErrTooLarge, len(events), MaxBatchEvents)
@@ -168,12 +170,15 @@ func AppendFrame(dst []byte, events []Event) ([]byte, error) {
 // putUvarint3 writes v as a fixed-width 3-byte uvarint (continuation bits set
 // on the first two bytes). Valid for v < 1<<21; decoders see a standard
 // uvarint.
+//
+//datawa:hotpath
 func putUvarint3(b []byte, v uint64) {
 	b[0] = byte(v&0x7f) | 0x80
 	b[1] = byte((v>>7)&0x7f) | 0x80
 	b[2] = byte(v >> 14)
 }
 
+//datawa:hotpath
 func appendEvent(dst []byte, ev *Event) ([]byte, error) {
 	if ev.Kind >= numKinds {
 		return dst, fmt.Errorf("%w: unknown kind %d", ErrMalformed, ev.Kind)
@@ -203,11 +208,14 @@ func appendEvent(dst []byte, ev *Event) ([]byte, error) {
 	return dst, nil
 }
 
+//datawa:hotpath
 func appendF64(dst []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 }
 
 // eventFinite checks every float the event's kind puts on the wire.
+//
+//datawa:hotpath
 func eventFinite(ev *Event) bool {
 	if !finite(ev.Time) {
 		return false
@@ -223,6 +231,7 @@ func eventFinite(ev *Event) bool {
 	return true
 }
 
+//datawa:hotpath
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // DecodeFrame decodes the frame at the head of buf, appending its events to
@@ -231,6 +240,8 @@ func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 // buffer holds only a prefix of a frame — read more bytes and retry; any
 // other error is a hard reject and n is 0. The decoder never reads past
 // len(buf) and never allocates per event once into has capacity.
+//
+//datawa:hotpath
 func DecodeFrame(buf []byte, into []Event) (events []Event, n int, err error) {
 	if len(buf) < headerSize {
 		return into, 0, ErrShort
@@ -265,6 +276,8 @@ func DecodeFrame(buf []byte, into []Event) (events []Event, n int, err error) {
 
 // decodePayload decodes a complete frame payload. Inside a complete payload
 // every truncation is corruption, so all errors here are hard rejects.
+//
+//datawa:hotpath
 func decodePayload(p []byte, into []Event) ([]Event, error) {
 	count, n := binary.Uvarint(p)
 	if n <= 0 {
@@ -291,6 +304,7 @@ func decodePayload(p []byte, into []Event) ([]Event, error) {
 	return into, nil
 }
 
+//datawa:hotpath
 func decodeEvent(p []byte, ev *Event) ([]byte, error) {
 	if len(p) < 1 {
 		return p, fmt.Errorf("%w: truncated event", ErrMalformed)
@@ -336,6 +350,7 @@ func decodeEvent(p []byte, ev *Event) ([]byte, error) {
 	return p, nil
 }
 
+//datawa:hotpath
 func takeF64(p []byte) (float64, []byte, error) {
 	if len(p) < 8 {
 		return 0, p, fmt.Errorf("%w: truncated float", ErrMalformed)
