@@ -7,11 +7,12 @@
 // perf-sensitive PRs regenerate and CI gates on (see docs/BENCHMARKS.md):
 //
 //	datawa-bench -suite -json
-//	datawa-bench -suite -scales 1,5,20 -methods Greedy,DTA -json=BENCH_8.json
-//	datawa-bench -suite -scales 1 -transports json,stream -json=BENCH_ci.json -compare BENCH_8.json
+//	datawa-bench -suite -scales 1,5,20 -methods Greedy,DTA,SSP -json=BENCH_10.json
+//	datawa-bench -suite -scales 1 -transports json,stream -json=BENCH_ci.json -compare BENCH_10.json
+//	datawa-bench -suite -scales 1 -methods SSP -samples 8 -cvar-alpha 0.5 -json=-
 //	datawa-bench -suite -scales 1 -shards 4 -max-gap 0.01 -json=-
 //	datawa-bench -suite -incremental=false -json=BENCH_full_replan.json
-//	datawa-bench -validate BENCH_8.json
+//	datawa-bench -validate BENCH_10.json
 //
 // Experiment mode (-run) regenerates the tables and figures of the paper's
 // evaluation (Section V) on the synthetic Yueche/DiDi workloads and prints
@@ -26,7 +27,7 @@
 // full (paper cardinalities; hours for the whole suite).
 //
 // -json writes one machine-readable document covering the whole run. It
-// takes an optional value: a bare -json picks the default path (BENCH_6.json
+// takes an optional value: a bare -json picks the default path (BENCH_10.json
 // in suite mode, stdout in experiment mode); -json=FILE and -json FILE both
 // write FILE; "-" writes to stdout and suppresses the text output.
 package main
@@ -41,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/benchsuite"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
@@ -49,7 +51,7 @@ import (
 // suiteJSONDefault is where -suite writes its report when -json gives no
 // explicit path. The number tracks the PR that last regenerated the
 // trajectory snapshot at the repo root.
-const suiteJSONDefault = "BENCH_8.json"
+const suiteJSONDefault = "BENCH_10.json"
 
 // compareTolerance is the relative assignment-rate drop -compare accepts
 // before failing (docs/BENCHMARKS.md: perf-sensitive PRs regenerate the
@@ -75,6 +77,8 @@ func main() {
 		scenarios  = flag.String("scenarios", "", "suite mode: comma-separated archetype names (default: all registered)")
 		scales     = flag.String("scales", "1,5", "suite mode: comma-separated density multipliers")
 		methods    = flag.String("methods", "Greedy,DTA", "suite mode: comma-separated assignment methods")
+		samples    = flag.Int("samples", 0, "suite mode: demand futures SSP cells sample per forecast instant (0 = default 5; 1 = point forecast)")
+		cvarAlpha  = flag.Float64("cvar-alpha", 0, "suite mode: SSP CVaR risk knob in (0,1] — commit the plan maximizing the mean value over the worst ceil(alpha*K) futures (0 or 1 = expected value)")
 		transports = flag.String("transports", "json,stream", "suite mode: comma-separated live-path ingest transports (json = per-event, stream = batched binary wire frames)")
 		shards     = flag.Int("shards", 2, "suite mode: live-path dispatcher shard count")
 		halo       = flag.Float64("halo", 0, "suite mode: cross-shard handoff radius in km (0 = auto from worker reach, negative = disable)")
@@ -125,6 +129,7 @@ func main() {
 			transports: *transports,
 			shards:     *shards, halo: *halo, step: *step, parallel: *parallel,
 			incremental: *increment, p95Tol: *p95Tol,
+			samples: *samples, cvarAlpha: *cvarAlpha,
 			jsonPath: jsonPath.resolve(suiteJSONDefault), compare: *compare, maxGap: *maxGap,
 		})
 	default:
@@ -151,6 +156,8 @@ type suiteOptions struct {
 	parallel                   int
 	incremental                bool
 	p95Tol                     float64
+	samples                    int
+	cvarAlpha                  float64
 	jsonPath, compare          string
 	maxGap                     float64
 }
@@ -167,6 +174,27 @@ func runSuite(so suiteOptions) {
 		Step:               so.step,
 		Parallelism:        so.parallel,
 		DisableIncremental: !so.incremental,
+		Samples:            so.samples,
+		CVaRAlpha:          so.cvarAlpha,
+	}
+	// Validate -methods up front against the live registry, so a typo fails
+	// in milliseconds with the current method names instead of mid-suite.
+	registered := datawa.Methods()
+	for _, m := range opts.Methods {
+		known := false
+		for _, r := range registered {
+			if datawa.Method(m) == r {
+				known = true
+				break
+			}
+		}
+		if !known {
+			names := make([]string, len(registered))
+			for i, r := range registered {
+				names[i] = string(r)
+			}
+			fatalf("unknown -methods entry %q (methods: %s)", m, strings.Join(names, ", "))
+		}
 	}
 	for _, s := range splitList(so.scales) {
 		f, err := strconv.ParseFloat(s, 64)

@@ -77,6 +77,8 @@ func main() {
 		pretrain   = flag.String("pretrain", "", "train demand/value models on a synthetic scenario first: yueche | didi")
 		preScale   = flag.Float64("pretrain-scale", 0.1, "pretraining workload scale factor in (0,1]")
 		seed       = flag.Int64("seed", 1, "deterministic seed")
+		samples    = flag.Int("samples", 0, "SSP: demand futures sampled per forecast instant (0 = default 5; 1 = point forecast)")
+		cvarAlpha  = flag.Float64("cvar-alpha", 0, "SSP: CVaR risk knob in (0,1] — commit the plan maximizing the mean value over the worst ceil(alpha*K) futures (0 or 1 = expected value)")
 
 		maxOpen    = flag.Int("max-open-tasks", 0, "admission control: open-task pool cap; newcomers displace later-deadline tasks or are shed/deferred (0 = unbounded)")
 		maxSubmits = flag.Int("max-submits", 0, "admission control: task submits admitted per epoch; overflow is deferred one epoch (0 = unbounded)")
@@ -99,10 +101,11 @@ func main() {
 		Region:        datawa.Rect{MinX: *minX, MinY: *minY, MaxX: *maxX, MaxY: *maxY},
 		GridRows:      *rows, GridCols: *cols,
 		Step: *step, Parallelism: *parallel, Seed: *seed,
+		Samples: *samples, CVaRAlpha: *cvarAlpha,
 	})
 
 	m := datawa.Method(*method)
-	needsDemand := m == datawa.MethodDTATP || m == datawa.MethodDATAWA
+	needsDemand := m == datawa.MethodDTATP || m == datawa.MethodDATAWA || m == datawa.MethodSSP
 	if needsDemand {
 		if *pretrain == "" {
 			fmt.Fprintf(os.Stderr, "method %s needs trained models: pass -pretrain yueche|didi\n", m)

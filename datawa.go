@@ -75,21 +75,46 @@ func TaskSubmitEvent(s *Task) DispatchEvent {
 	return DispatchEvent{Time: s.Pub, Kind: dispatch.KindTaskSubmit, Task: s}
 }
 
-// Method selects one of the five assignment policies of Section V-B.2.
+// Method selects an assignment policy: one of the five methods of Section
+// V-B.2, or the scenario-sampling extension (MethodSSP).
 type Method string
 
-// The five methods evaluated in the paper.
+// The five methods evaluated in the paper, plus SSP.
 const (
 	MethodGreedy Method = "Greedy"
 	MethodFTA    Method = "FTA"
 	MethodDTA    Method = "DTA"
 	MethodDTATP  Method = "DTA+TP"
 	MethodDATAWA Method = "DATA-WA"
+	// MethodSSP is the scenario-sampling robust planner: DTA's adaptive
+	// replanning against K demand futures sampled from the forecaster's
+	// predictive distribution, committing the assignment with the best
+	// CVaR-α value across the sample set (see docs/PLANNERS.md). Requires a
+	// trained demand model, like MethodDTATP.
+	MethodSSP Method = "SSP"
 )
 
-// Methods lists all supported methods in the paper's order.
+// DefaultSamples is the demand-future sample count MethodSSP uses when
+// Config.Samples is unset.
+const DefaultSamples = predict.DefaultSamples
+
+// Methods lists all supported methods: the paper's five in its order, then
+// SSP.
 func Methods() []Method {
-	return []Method{MethodGreedy, MethodFTA, MethodDTA, MethodDTATP, MethodDATAWA}
+	return []Method{MethodGreedy, MethodFTA, MethodDTA, MethodDTATP, MethodDATAWA, MethodSSP}
+}
+
+// methodList renders the registered method names for error messages, so an
+// unknown-method error always enumerates the current registry.
+func methodList() string {
+	names := ""
+	for i, m := range Methods() {
+		if i > 0 {
+			names += ", "
+		}
+		names += string(m)
+	}
+	return names
 }
 
 // Config parameterizes a Framework. The zero value plus a Region is usable;
@@ -115,6 +140,16 @@ type Config struct {
 	// VirtualValidTime is the validity e−p given to predicted tasks
 	// (default 40 s, Table III's default task validity).
 	VirtualValidTime float64
+
+	// Samples is the number of demand futures MethodSSP draws per forecast
+	// instant (default DefaultSamples; 1 degenerates to point-forecast
+	// planning). Ignored by the other methods.
+	Samples int
+	// CVaRAlpha is MethodSSP's risk knob α in (0, 1]: the committed
+	// assignment maximizes the mean value over the worst ⌈α·K⌉ sampled
+	// futures. 0 or 1 maximizes plain expected value. Ignored by the other
+	// methods.
+	CVaRAlpha float64
 
 	// MaxSeqLen and MaxReachable bound sequence generation (defaults 3, 8).
 	MaxSeqLen, MaxReachable int
@@ -161,6 +196,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.VirtualValidTime <= 0 {
 		c.VirtualValidTime = 40
+	}
+	if c.Samples <= 0 {
+		c.Samples = predict.DefaultSamples
 	}
 	if c.Epochs <= 0 {
 		c.Epochs = 15
@@ -329,10 +367,29 @@ func (f *Framework) forecaster() stream.Forecaster {
 	return &prefixedForecaster{inner: inner, prefix: f.history}
 }
 
+// sampledForecaster is forecaster with scenario sampling on top: the demand
+// source for MethodSSP. Nil without a trained model.
+func (f *Framework) sampledForecaster() stream.Forecaster {
+	if f.demand == nil {
+		return nil
+	}
+	point := predict.NewForecaster(f.demand, f.seriesConfig(), f.cfg.Window, f.cfg.Threshold, f.cfg.VirtualValidTime)
+	sampler := predict.NewScenarioSampler(point, f.cfg.Samples, f.cfg.Seed)
+	return &prefixedForecaster{inner: sampler, prefix: f.history}
+}
+
+// historyBoundedForecaster is the contract both predict.Forecaster and
+// predict.ScenarioSampler satisfy: a stream forecaster with a bounded
+// history horizon.
+type historyBoundedForecaster interface {
+	stream.Forecaster
+	stream.HistoryBounded
+}
+
 // prefixedForecaster prepends training history so early stream windows are
 // complete.
 type prefixedForecaster struct {
-	inner  *predict.Forecaster
+	inner  historyBoundedForecaster
 	prefix []*Task
 }
 
@@ -382,8 +439,14 @@ func (f *Framework) Run(m Method, workers []*Worker, tasks []*Task, t0, t1 float
 		}
 		cfg.Planner = &assign.Search{Opts: opts, Model: f.value}
 		cfg.Forecast = f.forecaster()
+	case MethodSSP:
+		if f.demand == nil {
+			return Result{}, fmt.Errorf("datawa: %s requires TrainDemand first", m)
+		}
+		cfg.Planner = &assign.SSP{Opts: opts, Samples: f.cfg.Samples, CVaRAlpha: f.cfg.CVaRAlpha}
+		cfg.Forecast = f.sampledForecaster()
 	default:
-		return Result{}, fmt.Errorf("datawa: unknown method %q", m)
+		return Result{}, fmt.Errorf("datawa: unknown method %q (methods: %s)", m, methodList())
 	}
 	return stream.Run(in, cfg), nil
 }
@@ -506,19 +569,42 @@ func (f *Framework) NewDispatcher(m Method, dc DispatchConfig) (*Dispatcher, err
 		}
 		cfg.NewPlanner = func(int) assign.Planner { return &assign.Search{Opts: opts, Model: f.value} }
 		cfg.Forecast = f.forecaster()
+	case MethodSSP:
+		if f.demand == nil {
+			return nil, fmt.Errorf("datawa: %s requires TrainDemand first", m)
+		}
+		cfg.NewPlanner = func(int) assign.Planner {
+			return &assign.SSP{Opts: opts, Samples: f.cfg.Samples, CVaRAlpha: f.cfg.CVaRAlpha}
+		}
+		cfg.Forecast = f.sampledForecaster()
+		// Incremental replanning caches the plans of quiet empty components,
+		// which is sound only when a component's plan emptiness depends on
+		// the pool alone. SSP's CVaR fold can flip a component between empty
+		// and non-empty across instants with an unchanged pool (a worst-case
+		// scenario tie breaking the other way), so the cache could splice a
+		// stale empty plan. Force full replanning for this method.
+		cfg.DisableIncremental = true
 	default:
-		return nil, fmt.Errorf("datawa: unknown method %q", m)
+		return nil, fmt.Errorf("datawa: unknown method %q (methods: %s)", m, methodList())
 	}
 	// Under a governor the method's planner becomes the top tier of a
 	// degradation ladder: full planner → Greedy → reachability-only Match.
-	// Greedy's ladder skips itself (Greedy → Match).
+	// Greedy's ladder skips itself (Greedy → Match), and SSP degrades
+	// through the point-forecast search (SSP → DTA → Greedy → Match) so the
+	// first step under pressure sheds the K-fold sampling cost, not the
+	// look-ahead itself.
 	if dc.Governor.Budget > 0 {
 		top := cfg.NewPlanner
-		if m == MethodGreedy {
+		switch m {
+		case MethodGreedy:
 			cfg.NewLadder = func(shard int) []assign.Planner {
 				return []assign.Planner{top(shard), &assign.Match{Opts: opts}}
 			}
-		} else {
+		case MethodSSP:
+			cfg.NewLadder = func(shard int) []assign.Planner {
+				return []assign.Planner{top(shard), &assign.Search{Opts: opts}, &assign.Greedy{Opts: opts}, &assign.Match{Opts: opts}}
+			}
+		default:
 			cfg.NewLadder = func(shard int) []assign.Planner {
 				return []assign.Planner{top(shard), &assign.Greedy{Opts: opts}, &assign.Match{Opts: opts}}
 			}

@@ -21,7 +21,7 @@ func frameworkFor(s *Scenario) *Framework {
 
 func TestMethodsList(t *testing.T) {
 	ms := Methods()
-	if len(ms) != 5 || ms[0] != MethodGreedy || ms[4] != MethodDATAWA {
+	if len(ms) != 6 || ms[0] != MethodGreedy || ms[4] != MethodDATAWA || ms[5] != MethodSSP {
 		t.Errorf("Methods() = %v", ms)
 	}
 }
@@ -86,6 +86,54 @@ func TestFullDATAWAPipeline(t *testing.T) {
 		if res.PlanCalls == 0 {
 			t.Errorf("%s never planned", m)
 		}
+	}
+}
+
+func TestSSPRequiresTraining(t *testing.T) {
+	s := smallScenario()
+	fw := frameworkFor(s)
+	if _, err := fw.Run(MethodSSP, s.Workers, s.Tasks, s.T0, s.T1); err == nil {
+		t.Error("SSP without TrainDemand should fail")
+	}
+	if _, err := fw.NewDispatcher(MethodSSP, DispatchConfig{}); err == nil {
+		t.Error("SSP dispatcher without TrainDemand should fail")
+	}
+}
+
+// TestSSPOneSampleMatchesPointForecast pins the K=1 contract at the façade
+// level: SSP with a single sample is the point-forecast pipeline (DTA+TP)
+// byte for byte, so every aggregate matches exactly.
+func TestSSPOneSampleMatchesPointForecast(t *testing.T) {
+	s := smallScenario()
+	run := func(m Method, samples int) Result {
+		fw := New(Config{
+			Region:   Rect{MinX: 0, MinY: 0, MaxX: 6, MaxY: 6},
+			GridRows: 6, GridCols: 6,
+			Epochs: 3, TVFEpochs: 8, Step: 2, Seed: 7,
+			Samples: samples,
+		})
+		if err := fw.TrainDemand(s.History); err != nil {
+			t.Fatalf("TrainDemand: %v", err)
+		}
+		res, err := fw.Run(m, s.Workers, s.Tasks, s.T0, s.T1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		return res
+	}
+	ref := run(MethodDTATP, 0)
+	ssp1 := run(MethodSSP, 1)
+	if ssp1.Assigned != ref.Assigned || ssp1.Expired != ref.Expired ||
+		ssp1.PlanCalls != ref.PlanCalls || ssp1.Repositions != ref.Repositions {
+		t.Errorf("SSP K=1 diverged from DTA+TP: assigned %d/%d expired %d/%d plans %d/%d repositions %d/%d",
+			ssp1.Assigned, ref.Assigned, ssp1.Expired, ref.Expired,
+			ssp1.PlanCalls, ref.PlanCalls, ssp1.Repositions, ref.Repositions)
+	}
+	// The default sample count must run end to end too (outcomes may differ —
+	// that is the point of sampling).
+	sspK := run(MethodSSP, 0)
+	if sspK.Assigned < 0 || sspK.Assigned+sspK.Expired > len(s.Tasks) {
+		t.Errorf("SSP sampled run inconsistent: %+v", sspK)
 	}
 }
 

@@ -94,3 +94,32 @@ func fanOut(jobs []func()) {
 		go j() // want `bare go statement in determinism-critical package`
 	}
 }
+
+// Scenario-sampling loop shapes. Drawing each scenario from its own seeded
+// stream in a fixed iteration order is the sanctioned pattern; reaching for
+// the process-global source inside the draw loop is a finding even though the
+// loop itself is deterministic.
+func sampleScenarios(seed int64, k int, probs []float64) []uint64 {
+	masks := make([]uint64, len(probs))
+	for s := 1; s < k; s++ {
+		rng := rand.New(rand.NewSource(seed + int64(s)))
+		for i, p := range probs {
+			if rng.Float64() < p {
+				masks[i] |= 1 << s
+			}
+		}
+	}
+	return masks
+}
+
+func sampleScenariosGlobal(k int, probs []float64) []uint64 {
+	masks := make([]uint64, len(probs))
+	for s := 1; s < k; s++ {
+		for i, p := range probs {
+			if rand.Float64() < p { // want `math/rand.Float64 \(process-global rand\) in determinism-critical package`
+				masks[i] |= 1 << s
+			}
+		}
+	}
+	return masks
+}

@@ -1,0 +1,238 @@
+package assign
+
+import (
+	"math"
+	"math/bits"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/tvf"
+)
+
+// SSP is the scenario-sampling robust planner: instead of planning against
+// one point forecast, it plans one candidate assignment per sampled demand
+// future (the scenario-tagged virtual pool produced by
+// predict.ScenarioSampler) and commits the candidate whose realized value is
+// best across the whole sample set.
+//
+// Scenario k's planning pool is the real tasks plus the virtual tasks whose
+// SampleBits contain bit k (bits == 0 means every scenario). Each pool is
+// planned with the same dense-array search core DTA uses, fanned out over
+// internal/par within the planner's parallelism budget; candidate j is then
+// scored under every scenario k — real tasks at full value, virtual tasks at
+// VirtualWeight when scenario k contains them and zero otherwise — and the
+// per-scenario values are folded through CVaR_α. α = 1 averages all
+// scenarios (maximize expected value); smaller α averages only the worst
+// ⌈α·K⌉ scenarios, buying robustness against the futures where the forecast
+// misleads. Ties commit the lowest-indexed candidate.
+//
+// When the pool carries no scenario-tagged virtuals (K = 1, or a sampler-free
+// forecast) every scenario is identical, so SSP runs exactly one inner search
+// and is byte-identical to point-forecast planning.
+//
+// An SSP must not be wrapped by Incremental: the empty-component cache
+// assumes a component's plan emptiness is planner-state-independent, but an
+// SSP plan for a component can flip between empty and non-empty as the
+// CVaR fold breaks ties differently across instants. The datawa façade
+// forces full replanning for the SSP method.
+type SSP struct {
+	Opts Options
+	// Samples is the scenario count K the sampler was configured with
+	// (bounds the per-task bitmasks; default 1+the highest bit seen).
+	Samples int
+	// CVaRAlpha is the risk knob α in (0, 1]: the fraction of worst-case
+	// scenarios the committed value is averaged over. 0 or unset means 1
+	// (plain expected value).
+	CVaRAlpha float64
+	// Model, when trained, guides the inner searches (DFSearch_TVF).
+	Model *tvf.Model
+	// NodesLastPlan reports the exact-search nodes expended by the most
+	// recent Plan call, summed across scenarios.
+	NodesLastPlan int
+
+	// Per-instant scratch: one inner Search per fan-out goroutine, the
+	// per-scenario pools, and per-candidate value matrices.
+	inner []*Search
+	pools [][]*core.Task
+	vals  []float64
+}
+
+// Name implements Planner.
+func (p *SSP) Name() string { return "SSP" }
+
+// SetParallelism overrides Opts.Parallelism; see Options.Parallelism.
+func (p *SSP) SetParallelism(n int) { p.Opts.Parallelism = n }
+
+// Plan implements Planner.
+func (p *SSP) Plan(workers []*core.Worker, tasks []*core.Task, now float64) core.Plan {
+	o := p.Opts.WithDefaults()
+	k := p.scenarios(tasks)
+	if k <= 1 {
+		// Point-forecast fast path: one scenario, one search, byte-identical
+		// to the DTA/DTA+TP planner on the same pool.
+		s := p.innerAt(0, o, o.Parallelism)
+		plan := s.Plan(workers, tasks, now)
+		p.NodesLastPlan = s.NodesLastPlan
+		return plan
+	}
+
+	// Per-scenario pools, in pool order. Real tasks and all-scenario
+	// virtuals (bits == 0) appear in every pool.
+	pools := p.pools
+	if cap(pools) < k {
+		pools = make([][]*core.Task, k)
+	}
+	pools = pools[:k]
+	for s := 0; s < k; s++ {
+		pool := pools[s][:0]
+		for _, t := range tasks {
+			if t.SampleBits == 0 || t.SampleBits&(1<<s) != 0 {
+				pool = append(pool, t)
+			}
+		}
+		pools[s] = pool
+	}
+	p.pools = pools
+
+	// Fan the K scenario searches out within the existing budget: the
+	// scenario loop takes its share of goroutines and each inner search gets
+	// the remainder, so SSP never oversubscribes beyond what one DTA plan
+	// could use. Results land in per-index slots; everything after the
+	// barrier is serial, so the commit is byte-identical at every setting.
+	outer := par.Workers(o.Parallelism, k)
+	innerPar := o.Parallelism
+	if outer > 1 {
+		total := o.Parallelism
+		if total == 0 {
+			total = runtime.GOMAXPROCS(0)
+		}
+		innerPar = total / outer
+		if innerPar < 1 {
+			innerPar = 1
+		}
+	}
+	plans := make([]core.Plan, k)
+	nodes := make([]int, k)
+	for len(p.inner) < outer {
+		p.inner = append(p.inner, &Search{})
+	}
+	par.DoWorker(k, o.Parallelism, func(g, s int) {
+		in := p.innerAt(g, o, innerPar)
+		plans[s] = in.Plan(workers, pools[s], now)
+		nodes[s] = in.NodesLastPlan
+	})
+	p.NodesLastPlan = 0
+	for _, n := range nodes {
+		p.NodesLastPlan += n
+	}
+
+	// Score candidate j under scenario s and fold through CVaR_α. The value
+	// matrix is tiny (K²) next to the searches above; clarity wins.
+	vals := p.vals[:0]
+	for j := 0; j < k; j++ {
+		for s := 0; s < k; s++ {
+			vals = append(vals, planValue(plans[j], s, o.VirtualWeight))
+		}
+	}
+	p.vals = vals
+	best, bestScore := 0, math.Inf(-1)
+	for j := 0; j < k; j++ {
+		if score := cvar(vals[j*k:(j+1)*k], p.CVaRAlpha); score > bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return plans[best]
+}
+
+// innerAt returns the g-th inner search configured for this instant.
+func (p *SSP) innerAt(g int, o Options, parallelism int) *Search {
+	for len(p.inner) <= g {
+		p.inner = append(p.inner, &Search{})
+	}
+	s := p.inner[g]
+	s.Opts = o
+	s.Opts.Parallelism = parallelism
+	s.Model = p.Model
+	return s
+}
+
+// scenarios returns the scenario count implied by the pool: the configured
+// Samples when any virtual task carries scenario bits, 1 otherwise.
+func (p *SSP) scenarios(tasks []*core.Task) int {
+	maxBit := -1
+	for _, t := range tasks {
+		if t.SampleBits == 0 {
+			continue
+		}
+		if b := bits.Len64(t.SampleBits) - 1; b > maxBit {
+			maxBit = b
+		}
+	}
+	if maxBit < 0 {
+		return 1
+	}
+	k := p.Samples
+	if k < maxBit+1 {
+		k = maxBit + 1 // never drop a scenario the sampler emitted
+	}
+	if k > 64 {
+		k = 64
+	}
+	return k
+}
+
+// planValue is the realized value of a candidate plan under scenario s: one
+// per real task, VirtualWeight per virtual task the scenario contains, zero
+// for virtuals of other scenarios (the worker repositions toward demand that
+// never appears there).
+func planValue(plan core.Plan, s int, virtualWeight float64) float64 {
+	v := 0.0
+	for _, a := range plan {
+		for _, t := range a.Seq {
+			switch {
+			case !t.Virtual:
+				v++
+			case t.SampleBits == 0 || t.SampleBits&(1<<s) != 0:
+				v += virtualWeight
+			}
+		}
+	}
+	return v
+}
+
+// cvar folds per-scenario values through the conditional value at risk: the
+// mean of the worst ⌈α·K⌉ values. α ≥ 1 (or unset ≤ 0) recovers the plain
+// expectation; α → 0 degenerates to the single worst scenario.
+func cvar(vals []float64, alpha float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	if alpha <= 0 || alpha >= 1 {
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		return sum / float64(len(vals))
+	}
+	m := int(math.Ceil(alpha * float64(len(vals))))
+	if m < 1 {
+		m = 1
+	}
+	if m > len(vals) {
+		m = len(vals)
+	}
+	// Insertion sort into a small scratch: K ≤ 64, and the planner must not
+	// disturb the input slice.
+	sorted := append(make([]float64, 0, len(vals)), vals...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	sum := 0.0
+	for _, v := range sorted[:m] {
+		sum += v
+	}
+	return sum / float64(m)
+}

@@ -50,11 +50,15 @@ import (
 // cells carry a transport tag ("json" per-event, "stream" batched binary
 // wire frames) and reports echo the Transports option. A missing or empty
 // transport means "json": pre-v5 snapshots predate the stream transport, so
-// Compare matches their cells against v5 json cells.
-const Schema = "datawa-bench-suite/5"
+// Compare matches their cells against v5 json cells. Version 6 added the
+// scenario-sampling method (SSP): its cells echo the sampling configuration
+// (samples, cvar_alpha) alongside the method tag, and reports echo the
+// Samples and CVaRAlpha options; cells of the other methods are unchanged,
+// so pre-v6 baselines keep gating them.
+const Schema = "datawa-bench-suite/6"
 
 // legacySchemas are older wire formats Validate still accepts.
-var legacySchemas = []string{"datawa-bench-suite/4", "datawa-bench-suite/3", "datawa-bench-suite/2", "datawa-bench-suite/1"}
+var legacySchemas = []string{"datawa-bench-suite/5", "datawa-bench-suite/4", "datawa-bench-suite/3", "datawa-bench-suite/2", "datawa-bench-suite/1"}
 
 // schemaV1 is the oldest format, which predates the fidelity_gap field.
 const schemaV1 = "datawa-bench-suite/1"
@@ -106,6 +110,11 @@ type Options struct {
 	Parallelism int
 	// MaxNodes caps exact-search effort per planning call (default 4000).
 	MaxNodes int
+	// Samples is the demand futures SSP cells draw per forecast instant
+	// (0 = the framework default); CVaRAlpha their risk knob (0 = expected
+	// value). Both are ignored by — and not echoed on — non-SSP cells.
+	Samples   int
+	CVaRAlpha float64
 	// Log, when non-nil, receives one progress line per cell.
 	Log func(format string, args ...any)
 }
@@ -131,6 +140,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxNodes <= 0 {
 		o.MaxNodes = 4000
+	}
+	if o.Samples <= 0 {
+		o.Samples = datawa.DefaultSamples
 	}
 	if o.Log == nil {
 		o.Log = func(string, ...any) {}
@@ -160,6 +172,10 @@ type Report struct {
 	HaloRadius  float64   `json:"halo_radius_km"`
 	Incremental bool      `json:"incremental"`
 	Parallelism int       `json:"parallelism"`
+	// Samples and CVaRAlpha echo the SSP sampling options (schema v6);
+	// absent when no SSP cells were requested.
+	Samples   int     `json:"samples,omitempty"`
+	CVaRAlpha float64 `json:"cvar_alpha,omitempty"`
 	// Results holds one cell per scenario × scale × method, in scenario
 	// name order.
 	Results []Cell `json:"results"`
@@ -201,6 +217,11 @@ type Cell struct {
 	// involves a transport, so stream cells reuse the json cell's offline
 	// figures verbatim.
 	Transport string `json:"transport,omitempty"`
+	// Samples and CVaRAlpha echo the sampling configuration of an SSP cell
+	// (schema v6): the demand futures drawn per forecast instant and the
+	// CVaR risk knob (0 = expected value). Zero on non-SSP cells.
+	Samples   int     `json:"samples,omitempty"`
+	CVaRAlpha float64 `json:"cvar_alpha,omitempty"`
 }
 
 // Live-path ingest transports a Cell can be measured over.
@@ -284,6 +305,13 @@ func Run(opts Options) (*Report, error) {
 		Incremental: !opts.DisableIncremental,
 		Parallelism: opts.Parallelism,
 	}
+	for _, m := range opts.Methods {
+		if datawa.Method(m) == datawa.MethodSSP {
+			r.Samples = opts.Samples
+			r.CVaRAlpha = opts.CVaRAlpha
+			break
+		}
+	}
 	for _, name := range opts.Scenarios {
 		arch, ok := scenario.Get(name)
 		if !ok {
@@ -338,8 +366,10 @@ func framework(sc *datawa.Scenario, m datawa.Method, opts Options) (*datawa.Fram
 		Step: opts.Step, Seed: c.Seed,
 		Parallelism:    opts.Parallelism,
 		MaxSearchNodes: opts.MaxNodes,
+		Samples:        opts.Samples,
+		CVaRAlpha:      opts.CVaRAlpha,
 	})
-	if m == datawa.MethodDTATP || m == datawa.MethodDATAWA {
+	if m == datawa.MethodDTATP || m == datawa.MethodDATAWA || m == datawa.MethodSSP {
 		if err := fw.TrainDemand(sc.History); err != nil {
 			return nil, err
 		}
@@ -361,6 +391,10 @@ func runCell(arch scenario.Archetype, sc *datawa.Scenario, f float64, m datawa.M
 		Scenario: arch.Name, Scale: f, Method: string(m),
 		Workers: len(sc.Workers), Tasks: len(sc.Tasks),
 		Transport: transport,
+	}
+	if m == datawa.MethodSSP {
+		cell.Samples = opts.Samples
+		cell.CVaRAlpha = opts.CVaRAlpha
 	}
 	events := len(sc.Workers) + len(sc.Tasks)
 	var m0, m1 runtime.MemStats

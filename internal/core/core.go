@@ -32,6 +32,13 @@ type Task struct {
 	// Cell is the grid cell this task was generated in, when known.
 	// Negative means unknown.
 	Cell int
+	// SampleBits marks which sampled demand scenarios contain this virtual
+	// task: bit k set means scenario k materialized it. Zero means the task
+	// belongs to every scenario — the point-forecast virtuals and all real
+	// tasks, so planners unaware of scenario sampling need no special case.
+	// Only the scenario-sampling forecaster (predict.ScenarioSampler) sets
+	// nonzero bits, and only the SSP planner reads them.
+	SampleBits uint64
 }
 
 // Valid reports whether the task window is internally consistent.

@@ -2,6 +2,7 @@ package predict
 
 import (
 	"repro/internal/core"
+	"repro/internal/tensor"
 )
 
 // Forecaster turns a trained Predictor into a stream-time source of virtual
@@ -47,20 +48,32 @@ func NewForecaster(model Predictor, cfg SeriesConfig, history int, threshold, va
 // real task published before now (later tasks are ignored). It returns nil
 // until enough history has accumulated.
 func (f *Forecaster) Virtuals(published []*core.Task, now float64) []*core.Task {
-	s := BuildSeries(f.Cfg, published, now)
-	if s.P() < f.History {
+	probs, intervalStart, ok := f.forecast(published, now)
+	if !ok {
 		return nil
 	}
+	out := VirtualTasks(probs, f.Cfg, intervalStart, f.Threshold, f.ValidTime, f.nextID)
+	f.nextID -= len(out)
+	return out
+}
+
+// forecast runs the model once: it returns the predicted probability matrix
+// and the wall-clock start of the interval it describes, or ok=false until
+// enough history has accumulated. Virtuals and the scenario sampler share it
+// so a sampled forecast never predicts twice.
+func (f *Forecaster) forecast(published []*core.Task, now float64) (probs *tensor.Matrix, intervalStart float64, ok bool) {
+	s := BuildSeries(f.Cfg, published, now)
+	if s.P() < f.History {
+		return nil, 0, false
+	}
 	window := s.Vectors[s.P()-f.History:]
-	probs := f.Model.Predict(window)
+	probs = f.Model.Predict(window)
 	horizon := f.Horizon
 	if horizon <= 0 {
 		horizon = 1
 	}
-	intervalStart := f.Cfg.T0 + float64(s.P()+horizon-1)*f.Cfg.VectorSpan()
-	out := VirtualTasks(probs, f.Cfg, intervalStart, f.Threshold, f.ValidTime, f.nextID)
-	f.nextID -= len(out)
-	return out
+	intervalStart = f.Cfg.T0 + float64(s.P()+horizon-1)*f.Cfg.VectorSpan()
+	return probs, intervalStart, true
 }
 
 // Span returns the prediction cadence: one vector span kΔT.
